@@ -1,0 +1,52 @@
+"""A1 (ablation) — block-cyclic block size.
+
+Design choice probed: the nb of the 2D block-cyclic layout trades kernel
+efficiency (bigger blocks → closer to peak) against pipeline granularity
+and load balance (smaller blocks → smoother distribution, more messages).
+Expected shape: a shallow optimum at an intermediate nb; tiny blocks pay
+message count, huge blocks pay imbalance.
+"""
+
+from harness import analyzed, banner
+
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.util.tables import format_table
+
+MATRIX = "cube-l"
+P = 16
+BLOCKS = [8, 16, 32, 64, 128]
+
+
+def test_a1_block_size(benchmark):
+    sym = analyzed(MATRIX)
+    rows = []
+    times = {}
+    msgs = {}
+    for nb in BLOCKS:
+        res = simulate_factorization(sym, P, BLUEGENE_P, PlanOptions(nb=nb))
+        times[nb] = res.makespan
+        msgs[nb] = res.sim.ledger.n_messages
+        rows.append(
+            [
+                nb,
+                res.makespan * 1e3,
+                round(res.gflops, 3),
+                res.sim.ledger.n_messages,
+                round(res.comm_fraction() * 100, 1),
+            ]
+        )
+    banner("A1", f"Block size ablation ({MATRIX}, p={P}, BG/P model)")
+    print(format_table(["nb", "time [ms]", "Gflop/s", "msgs", "comm%"], rows))
+
+    # Shape: message count decreases monotonically with nb; the best time
+    # is not at the smallest block size.
+    counts = [msgs[nb] for nb in BLOCKS]
+    assert all(b <= a for a, b in zip(counts, counts[1:]))
+    assert min(times, key=times.get) != BLOCKS[0]
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(sym, P, BLUEGENE_P, PlanOptions(nb=32)),
+        rounds=1,
+        iterations=1,
+    )

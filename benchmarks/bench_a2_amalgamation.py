@@ -1,0 +1,72 @@
+"""A2 (ablation) — relaxed supernode amalgamation.
+
+Design choice probed: merging small supernodes into parents adds explicit
+zeros (more flops, more storage) but yields fewer, larger fronts (better
+kernel efficiency, fewer extend-adds/messages). Expected shape: with
+amalgamation on, fewer supernodes and — despite the extra arithmetic —
+equal or better simulated time; storage overhead bounded by the configured
+ratio.
+"""
+
+from harness import NB, banner
+
+from repro.gen import grid3d_laplacian
+from repro.graph import AdjacencyGraph
+from repro.machine import BLUEGENE_P
+from repro.ordering import nested_dissection_order
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.symbolic import AnalyzeOptions, analyze
+from repro.util.tables import format_table
+
+P = 16
+
+
+def test_a2_amalgamation(benchmark):
+    lower = grid3d_laplacian(12)
+    g = AdjacencyGraph.from_symmetric_lower(lower)
+    perm = nested_dissection_order(g)
+    rows = []
+    results = {}
+    for label, amal in (("off", False), ("on", True)):
+        sym = analyze(lower, perm, AnalyzeOptions(amalgamate=amal))
+        res = simulate_factorization(sym, P, BLUEGENE_P, PlanOptions(nb=NB))
+        seq = simulate_factorization(sym, 1, BLUEGENE_P, PlanOptions(nb=NB))
+        results[label] = (sym, res, seq)
+        rows.append(
+            [
+                label,
+                sym.n_supernodes,
+                sym.nnz_stored,
+                round(sym.nnz_stored / sym.nnz_factor, 3),
+                seq.makespan * 1e3,
+                res.makespan * 1e3,
+                res.sim.ledger.n_messages,
+            ]
+        )
+    banner("A2", f"Supernode amalgamation ablation (cube 12^3, p={P})")
+    print(
+        format_table(
+            [
+                "amalgamation",
+                "supernodes",
+                "stored entries",
+                "overhead",
+                "p=1 [ms]",
+                f"p={P} [ms]",
+                "msgs",
+            ],
+            rows,
+        )
+    )
+
+    sym_off, res_off, _ = results["off"]
+    sym_on, res_on, _ = results["on"]
+    assert sym_on.n_supernodes <= sym_off.n_supernodes
+    assert sym_on.nnz_stored <= 1.3 * sym_on.nnz_factor  # bounded overhead
+    assert res_on.sim.ledger.n_messages <= res_off.sim.ledger.n_messages * 1.2
+
+    benchmark.pedantic(
+        lambda: analyze(lower, perm, AnalyzeOptions(amalgamate=True)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,49 @@
+"""A3 (ablation) — analytic model versus discrete-event simulation.
+
+Cross-validates the two measurement instruments: the closed-form
+critical-path model (:mod:`repro.analysis.model`) must track the executing
+simulator within a small factor and bend at the same place, and then
+extends the scaling curve to rank counts far beyond what the executing
+simulator can host (the paper's 4096–8192-core regime).
+"""
+
+from harness import NB, analyzed, banner
+
+from repro.analysis import predict_factor_time
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.util.tables import format_table
+
+MATRIX = "cube-l"
+DES_RANKS = [1, 4, 16, 64]
+MODEL_ONLY = [256, 1024, 4096]
+
+
+def test_a3_model_vs_des(benchmark):
+    sym = analyzed(MATRIX)
+    opts = PlanOptions(nb=NB)
+    rows = []
+    ratios = []
+    for p in DES_RANKS:
+        des = simulate_factorization(sym, p, BLUEGENE_P, opts).makespan
+        mod = predict_factor_time(sym, p, BLUEGENE_P, opts)
+        ratios.append(des / mod)
+        rows.append([p, des * 1e3, mod * 1e3, round(des / mod, 3)])
+    for p in MODEL_ONLY:
+        mod = predict_factor_time(sym, p, BLUEGENE_P, opts)
+        rows.append([p, "-", mod * 1e3, "-"])
+    banner("A3", f"DES vs analytic model ({MATRIX}, BG/P model)")
+    print(
+        format_table(
+            ["ranks", "DES [ms]", "model [ms]", "DES/model"], rows
+        )
+    )
+
+    # The model stays within 3x of the executing simulator everywhere.
+    assert all(1 / 3 <= r <= 3 for r in ratios), ratios
+
+    benchmark.pedantic(
+        lambda: predict_factor_time(sym, 4096, BLUEGENE_P, opts),
+        rounds=1,
+        iterations=1,
+    )

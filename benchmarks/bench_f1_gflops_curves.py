@@ -1,0 +1,59 @@
+"""F1 — factorization GFLOPS (and % of peak) versus rank count.
+
+Paper analogue: the achieved-performance plots. Expected shape: aggregate
+GFLOPS rises with p but the per-core fraction of peak decays; larger /
+denser problems sustain a higher fraction of peak at every p.
+"""
+
+from harness import NB, SCALING_RANKS, analyzed, analyzed_custom, banner
+
+from repro.analysis import render_series, scaling_series
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions
+
+MATRICES = ["cube-m", "cube-l", "hexmesh-m"]
+
+
+def test_f1_gflops_curves(benchmark):
+    banner("F1", "Achieved Gflop/s and %-of-peak vs ranks (BG/P model)")
+    curves = {}
+    for name in MATRICES:
+        sym = analyzed(name)
+        pts = scaling_series(sym, SCALING_RANKS, BLUEGENE_P, PlanOptions(nb=NB))
+        curves[name] = pts
+        print()
+        print(
+            render_series(
+                "ranks",
+                [pt.n_ranks for pt in pts],
+                {
+                    "Gflop/s": [round(pt.gflops, 3) for pt in pts],
+                    "%peak": [round(pt.peak_fraction * 100, 2) for pt in pts],
+                },
+                title=f"{name}",
+            )
+        )
+
+    # Shape: gflops grows with p for every matrix; at *matched* mesh size,
+    # the denser 27-point stencil sustains a higher fraction of peak than
+    # the 7-point one (bigger, flop-richer fronts).
+    for name, pts in curves.items():
+        assert pts[-1].gflops > pts[0].gflops
+    from repro.parallel import simulate_factorization as _simfac
+
+    dense10 = _simfac(
+        analyzed_custom("cube27", 10), 1, BLUEGENE_P, PlanOptions(nb=NB)
+    )
+    sparse10 = _simfac(
+        analyzed_custom("cube", 10), 1, BLUEGENE_P, PlanOptions(nb=NB)
+    )
+    assert dense10.peak_fraction > sparse10.peak_fraction
+
+    from repro.parallel import simulate_factorization
+
+    sym = analyzed("cube-m")
+    benchmark.pedantic(
+        lambda: simulate_factorization(sym, 32, BLUEGENE_P, PlanOptions(nb=NB)),
+        rounds=1,
+        iterations=1,
+    )

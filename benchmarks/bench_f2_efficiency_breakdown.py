@@ -1,0 +1,52 @@
+"""F2 — parallel efficiency and communication-fraction breakdown.
+
+Paper analogue: the efficiency/overhead analysis. Expected shape:
+efficiency decays with p while the communication fraction (send + wait
+time over total rank time) grows toward 1; message counts grow superlinearly
+in p at fixed problem size.
+"""
+
+from harness import NB, SCALING_RANKS, analyzed, banner
+
+from repro.analysis import load_imbalance, render_series, scaling_series
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization
+
+MATRIX = "cube-l"
+
+
+def test_f2_efficiency_breakdown(benchmark):
+    sym = analyzed(MATRIX)
+    pts = scaling_series(sym, SCALING_RANKS, BLUEGENE_P, PlanOptions(nb=NB))
+    imbalance = []
+    for pt in pts:
+        res = simulate_factorization(
+            sym, pt.n_ranks, BLUEGENE_P, PlanOptions(nb=NB)
+        )
+        imbalance.append(round(load_imbalance(res), 3))
+    banner("F2", f"Efficiency and communication breakdown ({MATRIX}, BG/P)")
+    print(
+        render_series(
+            "ranks",
+            [pt.n_ranks for pt in pts],
+            {
+                "efficiency": [round(pt.efficiency, 3) for pt in pts],
+                "comm frac": [round(pt.comm_fraction, 3) for pt in pts],
+                "messages": [pt.n_messages for pt in pts],
+                "MB moved": [round(pt.total_bytes / 1e6, 3) for pt in pts],
+                "imbalance": imbalance,
+            },
+        )
+    )
+
+    effs = [pt.efficiency for pt in pts]
+    comms = [pt.comm_fraction for pt in pts]
+    assert effs[0] == 1.0
+    assert effs[-1] < effs[0]
+    assert comms[-1] > comms[1]
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(sym, 64, BLUEGENE_P, PlanOptions(nb=NB)),
+        rounds=1,
+        iterations=1,
+    )

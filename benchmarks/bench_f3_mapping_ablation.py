@@ -1,0 +1,67 @@
+"""F3 — 1D vs 2D front-distribution ablation.
+
+Paper analogue: the core scalability argument — 2D block-cyclic fronts
+communicate O(m²/√g) per rank versus O(m²) for 1D, so the gap between the
+two widens with the rank count. This bench isolates exactly that switch
+(identical mapping, identical numerics, only the front layout differs).
+"""
+
+from harness import NB, analyzed, banner
+
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.util.tables import format_table
+
+RANKS = [4, 16, 64]
+MATRIX = "cube-l"
+
+
+def test_f3_mapping_ablation(benchmark):
+    sym = analyzed(MATRIX)
+    rows = []
+    gaps = {}
+    for p in RANKS:
+        r2d = simulate_factorization(
+            sym, p, BLUEGENE_P, PlanOptions(nb=NB, policy="2d")
+        )
+        r1d = simulate_factorization(
+            sym, p, BLUEGENE_P, PlanOptions(nb=NB, policy="1d")
+        )
+        gaps[p] = r1d.makespan / r2d.makespan
+        rows.append(
+            [
+                p,
+                r2d.makespan * 1e3,
+                r1d.makespan * 1e3,
+                round(gaps[p], 3),
+                round(r2d.sim.ledger.total_bytes / 1e6, 3),
+                round(r1d.sim.ledger.total_bytes / 1e6, 3),
+            ]
+        )
+    banner("F3", f"2D vs 1D front distribution ({MATRIX}, BG/P model)")
+    print(
+        format_table(
+            [
+                "ranks",
+                "2D time [ms]",
+                "1D time [ms]",
+                "1D/2D",
+                "2D MB",
+                "1D MB",
+            ],
+            rows,
+        )
+    )
+
+    # Shape: the 1D/2D ratio grows with p (2D pulls ahead at scale) and
+    # 1D moves more bytes at the largest p.
+    assert gaps[RANKS[-1]] >= gaps[RANKS[0]] * 0.95
+    assert rows[-1][5] > rows[-1][4]
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(
+            sym, 16, BLUEGENE_P, PlanOptions(nb=NB, policy="1d")
+        ),
+        rounds=1,
+        iterations=1,
+    )

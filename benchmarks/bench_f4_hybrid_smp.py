@@ -1,0 +1,64 @@
+"""F4 — hybrid MPI × SMP configurations at fixed core count.
+
+Paper analogue: WSMP's hybrid-mode results on SMP nodes. Expected shape:
+at a fixed core budget, multithreaded ranks trade per-rank compute
+efficiency (SMP overhead) for a smaller, cheaper message economy; the best
+configuration is typically an intermediate thread count, and pure-MPI moves
+the most messages.
+"""
+
+from harness import NB, analyzed, banner
+
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, hybrid_configurations, simulate_factorization
+from repro.util.tables import format_table
+
+CORES = 64
+MATRIX = "cube-l"
+
+
+def test_f4_hybrid_smp(benchmark):
+    sym = analyzed(MATRIX)
+    configs = hybrid_configurations(CORES, BLUEGENE_P)
+    rows = []
+    times = {}
+    msgs = {}
+    for n_ranks, threads in configs:
+        res = simulate_factorization(
+            sym,
+            n_ranks,
+            BLUEGENE_P,
+            PlanOptions(nb=NB),
+            threads_per_rank=threads,
+        )
+        times[(n_ranks, threads)] = res.makespan
+        msgs[(n_ranks, threads)] = res.sim.ledger.n_messages
+        rows.append(
+            [
+                n_ranks,
+                threads,
+                res.makespan * 1e3,
+                round(res.gflops, 3),
+                res.sim.ledger.n_messages,
+                round(res.comm_fraction() * 100, 1),
+            ]
+        )
+    banner("F4", f"Hybrid MPI x SMP at {CORES} cores ({MATRIX}, BG/P model)")
+    print(
+        format_table(
+            ["ranks", "threads", "time [ms]", "Gflop/s", "msgs", "comm%"],
+            rows,
+        )
+    )
+
+    # Shape: message count strictly decreases as threads replace ranks.
+    counts = [msgs[cfg] for cfg in configs]
+    assert all(b < a for a, b in zip(counts, counts[1:]))
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(
+            sym, CORES // 4, BLUEGENE_P, PlanOptions(nb=NB), threads_per_rank=4
+        ),
+        rounds=1,
+        iterations=1,
+    )

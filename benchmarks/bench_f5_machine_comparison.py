@@ -1,0 +1,55 @@
+"""F5 — machine comparison: Blue Gene/P model vs POWER5+ cluster model.
+
+Paper analogue: the two-platform evaluation. Expected shape: the
+POWER5-like machine (fat fast cores, higher-latency fat-tree) wins at small
+rank counts on raw per-core speed; the BG/P-like machine (slim cores,
+low-latency torus) holds parallel efficiency better as p grows.
+"""
+
+from harness import NB, analyzed, banner
+
+from repro.analysis import scaling_series
+from repro.machine import BLUEGENE_P, POWER5_CLUSTER
+from repro.parallel import PlanOptions
+from repro.util.tables import format_table
+
+RANKS = [1, 4, 16, 64]
+MATRIX = "cube-l"
+
+
+def test_f5_machine_comparison(benchmark):
+    sym = analyzed(MATRIX)
+    bgp = scaling_series(sym, RANKS, BLUEGENE_P, PlanOptions(nb=NB))
+    p5 = scaling_series(sym, RANKS, POWER5_CLUSTER, PlanOptions(nb=NB))
+    rows = []
+    for a, b in zip(bgp, p5):
+        rows.append(
+            [
+                a.n_ranks,
+                a.time * 1e3,
+                b.time * 1e3,
+                round(a.efficiency, 3),
+                round(b.efficiency, 3),
+            ]
+        )
+    banner("F5", f"BG/P model vs POWER5-cluster model ({MATRIX})")
+    print(
+        format_table(
+            ["ranks", "BG/P [ms]", "P5 [ms]", "BG/P eff", "P5 eff"], rows
+        )
+    )
+
+    # Shape: P5 faster at p=1 (fat core); BG/P at least as efficient at the
+    # largest p (low-latency torus).
+    assert p5[0].time < bgp[0].time
+    assert bgp[-1].efficiency >= p5[-1].efficiency * 0.9
+
+    from repro.parallel import simulate_factorization
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(
+            sym, 16, POWER5_CLUSTER, PlanOptions(nb=NB)
+        ),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,50 @@
+"""F6 — memory scalability: per-rank factor + working storage vs ranks.
+
+Paper analogue: the memory-scalability discussion (a major WSMP-lineage
+claim: 2D mapping also divides memory, enabling problems no single node
+can hold). Expected shape: the max-per-rank entry count decays roughly like
+1/p until the distributed top fronts dominate.
+"""
+
+from harness import NB, SCALING_RANKS, analyzed, banner
+
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.util.tables import format_table
+
+MATRIX = "cube-l"
+
+
+def test_f6_memory_scaling(benchmark):
+    sym = analyzed(MATRIX)
+    rows = []
+    per_rank = {}
+    for p in SCALING_RANKS:
+        res = simulate_factorization(sym, p, BLUEGENE_P, PlanOptions(nb=NB))
+        peaks = res.peak_entries_by_rank()
+        per_rank[p] = int(peaks.max())
+        rows.append(
+            [
+                p,
+                int(peaks.max()),
+                int(peaks.sum() / p),
+                round(peaks.max() / max(peaks.mean(), 1), 2),
+                round(per_rank[SCALING_RANKS[0]] / peaks.max(), 2),
+            ]
+        )
+    banner("F6", f"Per-rank memory (factor+stack entries) vs ranks ({MATRIX})")
+    print(
+        format_table(
+            ["ranks", "max entries", "mean entries", "max/mean", "reduction"],
+            rows,
+        )
+    )
+
+    # Shape: per-rank memory shrinks with p, by at least 4x at p=64.
+    assert per_rank[64] < per_rank[1] / 4
+
+    benchmark.pedantic(
+        lambda: simulate_factorization(sym, 8, BLUEGENE_P, PlanOptions(nb=NB)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,51 @@
+"""T1 — the test-matrix suite table.
+
+Paper analogue: the evaluation's matrix inventory (name, order, nonzeros,
+factor nonzeros, factor operations). Regenerated here for the scaled
+synthetic suite, with the host-side analyze cost as the timed kernel.
+"""
+
+from harness import analyzed, banner
+
+from repro.gen import paper_suite
+from repro.util.tables import format_table
+
+
+def test_t1_matrix_suite_table(benchmark):
+    rows = []
+    for m in paper_suite():
+        sym = analyzed(m.name)
+        rows.append(
+            [
+                m.name,
+                m.mesh,
+                sym.n,
+                sym.permuted_lower.nnz,
+                sym.nnz_factor,
+                sym.factor_flops / 1e6,
+                sym.n_supernodes,
+                m.archetype,
+            ]
+        )
+    banner("T1", "Test matrix suite (nested-dissection ordering)")
+    print(
+        format_table(
+            ["name", "mesh", "n", "nnz(A)", "nnz(L)", "Mflops", "supernodes", "archetype"],
+            rows,
+        )
+    )
+
+    # Timed kernel: full analyze of a mid-size instance.
+    from repro.gen import get_paper_matrix
+    from repro.graph import AdjacencyGraph
+    from repro.ordering import nested_dissection_order
+    from repro.symbolic import analyze as run_analyze
+
+    lower = get_paper_matrix("cube-m").build()
+
+    def kernel():
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        return run_analyze(lower, nested_dissection_order(g))
+
+    sym = benchmark(kernel)
+    assert sym.n == lower.shape[0]

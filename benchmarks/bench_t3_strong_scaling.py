@@ -1,0 +1,50 @@
+"""T3 — strong scaling of the numeric factorization.
+
+Paper analogue: the headline table/plot — factorization time versus core
+count per matrix on the Blue Gene/P model. Expected shape: near-linear
+speedup while per-rank work dominates, roll-off once the (small, simulated)
+problems run out of tree+front parallelism; larger matrices scale further.
+"""
+
+from harness import NB, SCALING_RANKS, analyzed, banner
+
+from repro.analysis import render_scaling_table, scaling_series
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions
+
+MATRICES = ["cube-m", "cube-l", "cube-xl", "elast-m"]
+
+
+def test_t3_strong_scaling(benchmark):
+    banner("T3", "Strong scaling of factorization time (Blue Gene/P model)")
+    series = {}
+    for name in MATRICES:
+        sym = analyzed(name)
+        pts = scaling_series(
+            sym, SCALING_RANKS, BLUEGENE_P, PlanOptions(nb=NB)
+        )
+        series[name] = pts
+        print()
+        print(
+            render_scaling_table(
+                pts, title=f"{name} (n={sym.n}, {sym.factor_flops/1e6:.1f} Mflop)"
+            )
+        )
+
+    # Shape checks: every matrix speeds up; the largest matrix holds
+    # efficiency at p=8 at least as well as the smallest.
+    for name, pts in series.items():
+        assert pts[-1].time < pts[0].time, f"{name} failed to speed up"
+    eff_at = lambda pts, p: next(x.efficiency for x in pts if x.n_ranks == p)
+    assert eff_at(series["cube-l"], 8) >= eff_at(series["cube-m"], 8) - 0.05
+    assert eff_at(series["cube-xl"], 8) >= eff_at(series["cube-l"], 8) - 0.05
+
+    # Timed kernel: one mid-scale simulation.
+    from repro.parallel import simulate_factorization
+
+    sym = analyzed("cube-m")
+    benchmark.pedantic(
+        lambda: simulate_factorization(sym, 16, BLUEGENE_P, PlanOptions(nb=NB)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,48 @@
+"""T4 — solver comparison at scale.
+
+Paper analogue: WSMP versus MUMPS and SuperLU_DIST factorization times on
+the same matrices and core counts. Expected shape: all three comparable at
+small p; the subtree-to-subcube + 2D solver pulls ahead as p grows, the
+static-grid solver degrades first.
+"""
+
+from harness import NB, analyzed, banner
+
+from repro.baselines import BASELINES, simulate_baseline
+from repro.machine import BLUEGENE_P
+from repro.util.tables import format_table
+
+RANKS = [1, 4, 16, 64]
+MATRIX = "cube-l"
+
+
+def test_t4_solver_comparison(benchmark):
+    sym = analyzed(MATRIX)
+    times = {}
+    rows = []
+    for p in RANKS:
+        row = [p]
+        for name in ("wsmp-like", "mumps-like", "superlu-like"):
+            res = simulate_baseline(name, sym, p, BLUEGENE_P, nb=NB)
+            times[(name, p)] = res.makespan
+            row.append(res.makespan * 1e3)
+        rows.append(row)
+    banner("T4", f"Factorization time [ms] by solver ({MATRIX}, BG/P model)")
+    print(
+        format_table(
+            ["ranks", "wsmp-like", "mumps-like", "superlu-like"], rows
+        )
+    )
+    for name, spec in BASELINES.items():
+        print(f"  {name:13s} = {spec.description}")
+
+    # Shape checks at the largest p.
+    p = RANKS[-1]
+    assert times[("wsmp-like", p)] <= times[("mumps-like", p)] * 1.05
+    assert times[("wsmp-like", p)] < times[("superlu-like", p)]
+
+    benchmark.pedantic(
+        lambda: simulate_baseline("wsmp-like", sym, 16, BLUEGENE_P, nb=NB),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""T5 — triangular-solve scaling and factor/solve ratio.
+
+Paper analogue: the solve-phase numbers solvers in this family report next
+to factorization. Expected shape: solve time scales much worse than
+factorization (2 flops per factor entry — latency-bound), so the
+factor:solve time ratio *shrinks* with p.
+"""
+
+import numpy as np
+
+from harness import NB, analyzed, banner
+
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions, simulate_factorization, simulate_solve
+from repro.util.tables import format_table
+
+RANKS = [1, 4, 16, 64]
+MATRIX = "cube-l"
+
+
+def test_t5_solve_scaling(benchmark):
+    sym = analyzed(MATRIX)
+    b = np.ones(sym.n)
+    rows = []
+    factor_t = {}
+    solve_t = {}
+    for p in RANKS:
+        fres = simulate_factorization(sym, p, BLUEGENE_P, PlanOptions(nb=NB))
+        sres = simulate_solve(fres, b)
+        factor_t[p] = fres.makespan
+        solve_t[p] = sres.makespan
+        rows.append(
+            [
+                p,
+                fres.makespan * 1e3,
+                sres.makespan * 1e3,
+                fres.makespan / sres.makespan,
+                factor_t[RANKS[0]] / fres.makespan,
+                solve_t[RANKS[0]] / sres.makespan,
+            ]
+        )
+    banner("T5", f"Factor vs solve scaling ({MATRIX}, BG/P model)")
+    print(
+        format_table(
+            [
+                "ranks",
+                "factor [ms]",
+                "solve [ms]",
+                "factor/solve",
+                "factor speedup",
+                "solve speedup",
+            ],
+            rows,
+        )
+    )
+
+    # Shape: factorization speedup exceeds solve speedup at the top end.
+    p = RANKS[-1]
+    assert factor_t[1] / factor_t[p] > solve_t[1] / solve_t[p]
+
+    # Blocked multi-RHS solves amortize the latency-bound sweep: 8 RHS in
+    # one blocked sweep must beat 8 sequential single-RHS sweeps by >2x.
+    fres = simulate_factorization(sym, 16, BLUEGENE_P, PlanOptions(nb=NB))
+    b8 = np.ones((sym.n, 8))
+    t_block = simulate_solve(fres, b8).makespan
+    t_single = simulate_solve(fres, b8[:, 0]).makespan
+    print(
+        f"\nmulti-RHS at p=16: 8 blocked = {t_block*1e3:.3f} ms vs "
+        f"8 x single = {8*t_single*1e3:.3f} ms "
+        f"(amortization {8*t_single/t_block:.1f}x)"
+    )
+    assert t_block < 8 * t_single / 2
+
+    fres = simulate_factorization(sym, 16, BLUEGENE_P, PlanOptions(nb=NB))
+    benchmark.pedantic(
+        lambda: simulate_solve(fres, b), rounds=1, iterations=1
+    )

@@ -1,0 +1,69 @@
+"""Shared benchmark harness.
+
+Builds and caches the analyzed problems once per pytest session, provides
+the machine sweep helpers, and prints each experiment's table in the format
+the paper's tables/figures report (see DESIGN.md experiment index and
+EXPERIMENTS.md for paper-vs-measured).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.gen import (
+    elasticity3d,
+    grid2d_9pt,
+    grid3d_laplacian,
+    grid3d_27pt,
+    get_paper_matrix,
+    paper_suite,
+)
+from repro.graph import AdjacencyGraph
+from repro.machine import BLUEGENE_P, POWER5_CLUSTER
+from repro.ordering import get_ordering
+from repro.symbolic import analyze
+from repro.symbolic.analyze import SymbolicFactor
+
+#: rank counts used by the strong-scaling sweeps (powers of two, like the
+#: paper's core counts, scaled to what a laptop-hosted simulation handles)
+SCALING_RANKS = [1, 2, 4, 8, 16, 32, 64, 128]
+
+#: block-cyclic block size used across the benches
+NB = 32
+
+
+@lru_cache(maxsize=None)
+def analyzed(name: str, ordering: str = "nd") -> SymbolicFactor:
+    """Analyzed paper-suite instance (cached for the whole bench session)."""
+    lower = get_paper_matrix(name).build()
+    graph = AdjacencyGraph.from_symmetric_lower(lower)
+    perm = get_ordering(ordering)(graph)
+    return analyze(lower, perm)
+
+
+@lru_cache(maxsize=None)
+def analyzed_custom(kind: str, size: int, ordering: str = "nd") -> SymbolicFactor:
+    """Analyzed ad-hoc instance for benches needing specific shapes."""
+    builders = {
+        "cube": grid3d_laplacian,
+        "cube27": grid3d_27pt,
+        "plate": grid2d_9pt,
+        "elast": elasticity3d,
+    }
+    lower = builders[kind](size)
+    graph = AdjacencyGraph.from_symmetric_lower(lower)
+    perm = get_ordering(ordering)(graph)
+    return analyze(lower, perm)
+
+
+def banner(exp_id: str, description: str) -> None:
+    print()
+    print("=" * 78)
+    print(f"[{exp_id}] {description}")
+    print("=" * 78)
+
+
+MACHINES = {
+    "bluegene-p": BLUEGENE_P,
+    "power5-cluster": POWER5_CLUSTER,
+}

@@ -1,0 +1,89 @@
+"""Capacity planning: choose a machine allocation before running anything.
+
+Given a problem, use the *symbolic* instruments — the analytic performance
+model, the memory predictor, and the tree-parallelism profile — to answer
+the questions an HPC user asks before submitting a job:
+
+  1. how many ranks until the strong-scaling curve turns back up?
+  2. how many ranks do I *need* just to fit in memory?
+  3. what does the elimination tree say about useful parallelism?
+
+Then validate one operating point with the executing simulator.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SparseSolver
+from repro.analysis import (
+    min_feasible_ranks,
+    predict_factor_time,
+    predict_scaling,
+)
+from repro.analysis.memory import predict_peak_bytes_per_rank
+from repro.gen import grid3d_laplacian
+from repro.machine import BLUEGENE_P
+from repro.parallel import FactorPlan, PlanOptions, simulate_factorization
+from repro.symbolic.tree_stats import tree_stats
+from repro.util.tables import format_table
+
+
+def main(mesh: int = 14) -> None:
+    a = grid3d_laplacian(mesh)
+    solver = SparseSolver(a, ordering="nd")
+    info = solver.analyze()
+    sym = solver.sym
+    opts = PlanOptions(nb=32)
+    print(
+        f"problem: {mesh}^3 Poisson, n={info.n}, "
+        f"{info.factor_flops/1e6:.0f} Mflop, nnz(L)={info.nnz_factor}"
+    )
+
+    # 1. Predicted strong-scaling curve (no execution).
+    ranks = [1, 4, 16, 64, 256, 1024, 4096]
+    pts = predict_scaling(sym, ranks, BLUEGENE_P, opts)
+    rows = [[p, t * 1e3, round(pts[0][1] / t, 2)] for p, t in pts]
+    print()
+    print(
+        format_table(
+            ["ranks", "predicted time [ms]", "predicted speedup"],
+            rows,
+            title="analytic model (BG/P)",
+        )
+    )
+    best_p, best_t = min(pts, key=lambda pt: pt[1])
+    print(f"-> curve bottoms out near p={best_p} ({best_t*1e3:.2f} ms)")
+
+    # 2. Memory feasibility for a small-memory node (BG/P had 512 MB/core).
+    for budget_mb in (512, 8, 1):
+        try:
+            p_fit = min_feasible_ranks(sym, budget_mb * 1e6, opts)
+            print(f"fits in {budget_mb} MB/rank from p={p_fit}")
+        except Exception as exc:
+            print(f"does not fit {budget_mb} MB/rank: {exc}")
+    plan1 = FactorPlan(sym, 1, opts)
+    print(
+        f"(single-rank footprint: "
+        f"{predict_peak_bytes_per_rank(plan1)/1e6:.1f} MB)"
+    )
+
+    # 3. Tree parallelism profile.
+    stats = tree_stats(sym)
+    print(
+        f"tree: {stats.n_leaves} leaves, height {stats.height}, "
+        f"avg concurrency {stats.avg_concurrency:.1f} "
+        f"(critical path {stats.critical_path_flops/1e6:.1f} Mflop "
+        f"of {stats.total_flops/1e6:.1f})"
+    )
+
+    # 4. Validate one operating point with the executing simulator.
+    p_check = min(best_p, 64)
+    res = simulate_factorization(sym, p_check, BLUEGENE_P, opts)
+    pred = predict_factor_time(sym, p_check, BLUEGENE_P, opts)
+    print(
+        f"validation at p={p_check}: DES {res.makespan*1e3:.2f} ms vs "
+        f"model {pred*1e3:.2f} ms (ratio {res.makespan/pred:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Scaling study: reproduce the paper's headline experiment shape on one
+matrix — strong scaling of the factorization on the Blue Gene/P model,
+with the MUMPS-like (1D fronts) and SuperLU-like (static grid) baselines
+alongside.
+
+Run:  python examples/scaling_study.py [mesh_size]
+"""
+
+import sys
+
+from repro import SparseSolver
+from repro.analysis import render_scaling_table, scaling_series
+from repro.baselines import BASELINES, simulate_baseline
+from repro.gen import grid3d_laplacian
+from repro.machine import BLUEGENE_P
+from repro.parallel import PlanOptions
+from repro.util.tables import format_table
+
+
+def main(mesh: int = 12) -> None:
+    a = grid3d_laplacian(mesh)
+    solver = SparseSolver(a, ordering="nd")
+    info = solver.analyze()
+    print(
+        f"3D Poisson {mesh}^3: n={info.n}, nnz(L)={info.nnz_factor}, "
+        f"{info.factor_flops/1e6:.1f} Mflop"
+    )
+
+    ranks = [1, 2, 4, 8, 16, 32, 64]
+    pts = scaling_series(solver.sym, ranks, BLUEGENE_P, PlanOptions(nb=32))
+    print()
+    print(render_scaling_table(pts, title="WSMP-style solver (2D subcube)"))
+
+    print("\nsolver comparison (factor time in ms):")
+    rows = []
+    for p in (4, 16, 64):
+        row = [p]
+        for name in BASELINES:
+            res = simulate_baseline(name, solver.sym, p, BLUEGENE_P, nb=32)
+            row.append(res.makespan * 1e3)
+        rows.append(row)
+    print(format_table(["ranks"] + list(BASELINES), rows))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12)

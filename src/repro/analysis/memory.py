@@ -1,0 +1,81 @@
+"""Symbolic per-rank memory prediction.
+
+The memory-scalability argument of the paper family: with the 2D mapping,
+per-rank memory shrinks ~1/p, so machines with small per-node memory (Blue
+Gene!) can factor matrices no single node could hold. This module predicts
+per-rank storage from the plan alone — no numeric execution — and answers
+"how many ranks do I need to fit?".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.plan import FactorPlan, PlanOptions
+from repro.symbolic.analyze import SymbolicFactor
+from repro.symbolic.supernodes import trapezoid_entries
+from repro.util.errors import ShapeError
+
+BYTES_PER_ENTRY = 8
+
+
+def predict_rank_entries(plan: FactorPlan) -> np.ndarray:
+    """Predicted peak entries per rank: stored factor share plus the
+    largest transient (front + update) allocation the rank ever holds.
+
+    Conservative in the same direction as the executing engine: transients
+    of a sequential supernode are its full front plus its update matrix.
+    """
+    p = plan.n_ranks
+    factor = np.zeros(p, dtype=np.int64)
+    transient = np.zeros(p, dtype=np.int64)
+    sym = plan.sym
+    for s in range(sym.n_supernodes):
+        d = plan.dist[s]
+        m, w = d.m, d.width
+        if d.is_seq:
+            r = d.group[0]
+            factor[r] += trapezoid_entries(m, w)
+            t = m * m + (m - w) ** 2
+            transient[r] = max(transient[r], t)
+        else:
+            # Block-cyclic shares: each rank's owned blocks.
+            for rank in d.group:
+                own = 0
+                for bi, bj in d.grid.owned_blocks(rank, d.nblocks):
+                    r0, r1 = d.block_range(bi)
+                    c0, c1 = d.block_range(bj)
+                    own += (r1 - r0) * (c1 - c0)
+                transient[rank] = max(transient[rank], own)
+            # Solve-ready row panels land on row owners.
+            for bi in range(d.nblocks):
+                r0, r1 = d.block_range(bi)
+                factor[d.row_owner(bi)] += (r1 - r0) * w
+    return factor + transient
+
+
+def predict_peak_bytes_per_rank(plan: FactorPlan) -> int:
+    """Max over ranks of the predicted peak, in bytes."""
+    return int(predict_rank_entries(plan).max(initial=0)) * BYTES_PER_ENTRY
+
+
+def min_feasible_ranks(
+    sym: SymbolicFactor,
+    bytes_per_rank: float,
+    options: PlanOptions | None = None,
+    max_ranks: int = 4096,
+) -> int:
+    """Smallest power-of-two rank count whose predicted per-rank peak fits
+    in *bytes_per_rank*. Raises when even *max_ranks* does not fit."""
+    if bytes_per_rank <= 0:
+        raise ShapeError("bytes_per_rank must be positive")
+    p = 1
+    while p <= max_ranks:
+        plan = FactorPlan(sym, p, options)
+        if predict_peak_bytes_per_rank(plan) <= bytes_per_rank:
+            return p
+        p *= 2
+    raise ShapeError(
+        f"matrix does not fit {bytes_per_rank:.3g} bytes/rank even at "
+        f"{max_ranks} ranks"
+    )

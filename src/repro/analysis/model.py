@@ -1,0 +1,170 @@
+"""Analytic performance model (no simulation).
+
+A closed-form critical-path estimate of the parallel factorization time,
+evaluated directly on the :class:`~repro.parallel.plan.FactorPlan`:
+
+* a sequential subtree costs its total front work at the machine's
+  small-front rate;
+* a distributed front of order m with w pivots on a g-rank (gr × gc) grid
+  costs its flops divided by g (at the blocked-kernel rate), plus per
+  pivot-block-column the pipelined panel broadcasts
+  (log₂-tree messages of nb² entries along grid rows and columns), plus its
+  share of the extend-add volume;
+* the tree composes as ``T(s) = own(s) + max over child branches`` —
+  children of a distributed node run on disjoint rank subsets, so they
+  overlap; a rank's own sequential supernodes serialize.
+
+The model deliberately ignores load imbalance and message contention, so it
+is a *lower envelope*: the DES should land above it but within a small
+factor, and both must bend at the same place. Bench A3 checks exactly
+that, and the model extends scaling curves to rank counts far beyond what
+the executing simulator can hold.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.machine.model import MachineModel
+from repro.parallel.plan import FactorPlan, PlanOptions
+from repro.symbolic.analyze import SymbolicFactor, dense_partial_factor_flops
+
+
+def _bcast_time(machine: MachineModel, nbytes: float, group_size: int) -> float:
+    """Binomial broadcast estimate: ceil(log2(g)) sequential message hops."""
+    if group_size <= 1:
+        return 0.0
+    hops = math.ceil(math.log2(group_size))
+    return hops * (machine.alpha + nbytes * machine.beta)
+
+
+def _dist_front_time(
+    plan: FactorPlan, s: int, machine: MachineModel, threads: int
+) -> float:
+    """Model of one distributed front's partial factorization."""
+    d = plan.dist[s]
+    grid = d.grid
+    g = grid.size
+    nb = plan.opts.nb
+    m, w = d.m, d.width
+    flops = dense_partial_factor_flops(m, w)
+    compute = machine.compute_time(flops / g, front_order=nb, threads=threads)
+
+    # Communication per pivot block column: diagonal bcast down the column
+    # (gr ranks), then for each remaining row block one row bcast (gc) and
+    # one column bcast (gr) of an nb×nb block; the pipeline overlaps blocks
+    # within a column, so charge the per-column critical path: one diag
+    # bcast + (row blocks / gr) block broadcasts each way.
+    npb = d.npb
+    blk_bytes = 8.0 * nb * nb
+    comm = 0.0
+    for k in range(npb):
+        row_blocks_below = max(d.nblocks - (k + 1), 0)
+        comm += _bcast_time(machine, blk_bytes, grid.gr)  # diagonal
+        per_rank_blocks = math.ceil(row_blocks_below / max(grid.gr, 1))
+        comm += per_rank_blocks * (
+            _bcast_time(machine, blk_bytes, grid.gc)
+            + _bcast_time(machine, blk_bytes, grid.gr)
+        )
+
+    # Extend-add: each rank receives ~its share of the children's update
+    # entries; charge the per-rank inbound volume as a single α+βn term per
+    # child sender group.
+    ea = 0.0
+    for c in plan.sym.sn_children[s]:
+        mu = plan.sym.front_size(c) - plan.sym.supernode_width(c)
+        entries = mu * (mu + 1) // 2
+        per_rank_bytes = 12.0 * entries / g
+        senders = min(len(plan.dist[c].group), g)
+        ea += senders * machine.alpha + per_rank_bytes * machine.beta
+    return compute + comm + ea
+
+
+def predict_factor_time(
+    sym: SymbolicFactor,
+    n_ranks: int,
+    machine: MachineModel,
+    options: PlanOptions | None = None,
+    threads_per_rank: int = 1,
+) -> float:
+    """Predicted factorization makespan on the simulated machine."""
+    plan = FactorPlan(sym, n_ranks, options)
+    return predict_factor_time_from_plan(plan, machine, threads_per_rank)
+
+
+def predict_factor_time_from_plan(
+    plan: FactorPlan, machine: MachineModel, threads_per_rank: int = 1
+) -> float:
+    sym = plan.sym
+    nsn = sym.n_supernodes
+    t_node = np.zeros(nsn)
+
+    # Sequential-subtree aggregate: per supernode, its own front cost at the
+    # front-order-dependent rate.
+    for s in range(nsn):
+        d = plan.dist[s]
+        if d.is_seq:
+            flops = sym.supernode_flops(s)
+            t_node[s] = machine.compute_time(
+                flops, front_order=d.m, threads=threads_per_rank
+            )
+        else:
+            t_node[s] = _dist_front_time(plan, s, machine, threads_per_rank)
+
+    # Compose along the tree: children on disjoint groups overlap (max);
+    # children sharing the same single rank serialize (sum).
+    finish = np.zeros(nsn)
+    for s in range(nsn):  # ascending = children first (postorder)
+        ch = sym.sn_children[s]
+        if not ch:
+            finish[s] = t_node[s]
+            continue
+        d = plan.dist[s]
+        child_fin = [finish[c] for c in ch]
+        if d.is_seq:
+            # Same rank processes every child subtree that shares its rank;
+            # distinct-rank children (static policy) still overlap.
+            same = [
+                finish[c]
+                for c in ch
+                if plan.dist[c].is_seq and plan.dist[c].group == d.group
+            ]
+            other = [
+                finish[c]
+                for c in ch
+                if not (plan.dist[c].is_seq and plan.dist[c].group == d.group)
+            ]
+            base = sum(same) + (max(other) if other else 0.0)
+        else:
+            base = max(child_fin)
+        finish[s] = base + t_node[s]
+
+    roots = sym.roots()
+    if not roots:
+        return 0.0
+    # Roots owned by disjoint groups overlap; a rank owning several root
+    # subtrees serializes them.
+    per_rank: dict[tuple, float] = {}
+    overall = 0.0
+    for r in roots:
+        grp = plan.dist[r].group
+        if len(grp) == 1:
+            per_rank[grp] = per_rank.get(grp, 0.0) + finish[r]
+            overall = max(overall, per_rank[grp])
+        else:
+            overall = max(overall, finish[r])
+    return float(overall)
+
+
+def predict_scaling(
+    sym: SymbolicFactor,
+    rank_counts: list[int],
+    machine: MachineModel,
+    options: PlanOptions | None = None,
+) -> list[tuple[int, float]]:
+    """(p, predicted time) pairs for a strong-scaling sweep."""
+    return [
+        (p, predict_factor_time(sym, p, machine, options)) for p in rank_counts
+    ]

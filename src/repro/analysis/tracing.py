@@ -1,0 +1,71 @@
+"""Timeline rendering of simulation traces.
+
+Produces per-rank activity summaries and an ASCII gantt view of what each
+rank did when — the qualitative picture behind the paper family's overlap
+and load-balance discussions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simmpi.trace import KINDS, Trace
+from repro.util.tables import format_table
+
+
+def rank_activity_table(trace: Trace, n_ranks: int) -> str:
+    """Per-rank seconds spent computing / sending / waiting."""
+    rows = []
+    for r in range(n_ranks):
+        events = trace.for_rank(r)
+        sums = {k: 0.0 for k in KINDS}
+        for e in events:
+            sums[e.kind] += e.duration
+        busy = sums["compute"] + sums["send"]
+        total = busy + sums["wait"]
+        rows.append(
+            [
+                r,
+                sums["compute"] * 1e3,
+                sums["send"] * 1e3,
+                sums["wait"] * 1e3,
+                (busy / total * 100) if total else 100.0,
+            ]
+        )
+    return format_table(
+        ["rank", "compute [ms]", "send [ms]", "wait [ms]", "busy %"], rows
+    )
+
+
+def ascii_gantt(trace: Trace, n_ranks: int, width: int = 72) -> str:
+    """ASCII timeline: one row per rank; ``#`` compute, ``>`` send,
+    ``.`` wait, space idle/done."""
+    span = trace.span()
+    if span <= 0:
+        return "(empty trace)"
+    glyph = {"compute": "#", "send": ">", "wait": "."}
+    lines = [f"0 {'-' * width} {span * 1e3:.3f} ms"]
+    for r in range(n_ranks):
+        row = [" "] * width
+        for e in trace.for_rank(r):
+            a = int(e.start / span * width)
+            b = max(int(e.end / span * width), a + 1)
+            for i in range(a, min(b, width)):
+                # Compute wins over send wins over wait when buckets collide.
+                cur = row[i]
+                new = glyph[e.kind]
+                order = {" ": 0, ".": 1, ">": 2, "#": 3}
+                if order[new] > order[cur]:
+                    row[i] = new
+        lines.append(f"r{r:<3d} {''.join(row)}")
+    lines.append("legend: # compute   > send   . wait")
+    return "\n".join(lines)
+
+
+def critical_rank(trace: Trace, n_ranks: int) -> int:
+    """The rank with the largest busy time (the load-balance bottleneck)."""
+    busy = np.zeros(n_ranks)
+    for e in trace.events:
+        if e.kind in ("compute", "send"):
+            busy[e.rank] += e.duration
+    return int(np.argmax(busy))

@@ -1,0 +1,32 @@
+"""Comparison solvers.
+
+The paper compares WSMP's factorization against contemporaneous distributed
+solvers. Under the simulated machine the architectural difference is the
+front-distribution policy, so the baselines are the same engine with the
+policy switched (see DESIGN.md "Substitutions" for why this isolates the
+paper's claim):
+
+* ``wsmp-like``    — subtree-to-subcube mapping + 2D block-cyclic fronts
+  (the paper's solver; the reference configuration);
+* ``mumps-like``   — subtree mapping + 1D row-cyclic fronts (MUMPS's
+  coarser front parallelism);
+* ``superlu-like`` — no tree-aware mapping: a static grid for large fronts,
+  round-robin small fronts (SuperLU_DIST's static-grid character);
+* ``sequential``   — the p=1 reference.
+"""
+
+from repro.baselines.registry import (
+    BaselineSpec,
+    BASELINES,
+    get_baseline,
+    simulate_baseline,
+)
+from repro.baselines.sequential import sequential_reference_time
+
+__all__ = [
+    "BaselineSpec",
+    "BASELINES",
+    "get_baseline",
+    "simulate_baseline",
+    "sequential_reference_time",
+]

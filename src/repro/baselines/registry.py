@@ -1,0 +1,70 @@
+"""Baseline registry: named solver configurations over the shared engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.model import MachineModel
+from repro.parallel.driver import ParallelFactorResult, simulate_factorization
+from repro.parallel.plan import PlanOptions
+from repro.symbolic.analyze import SymbolicFactor
+from repro.util.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """One named solver configuration."""
+
+    name: str
+    policy: str
+    description: str
+
+
+BASELINES: dict[str, BaselineSpec] = {
+    "wsmp-like": BaselineSpec(
+        "wsmp-like",
+        "2d",
+        "subtree-to-subcube mapping, 2D block-cyclic fronts (the paper)",
+    ),
+    "mumps-like": BaselineSpec(
+        "mumps-like",
+        "1d",
+        "subtree mapping, 1D row-cyclic fronts (MUMPS-style)",
+    ),
+    "superlu-like": BaselineSpec(
+        "superlu-like",
+        "static",
+        "static grid, no subtree locality (SuperLU_DIST-style)",
+    ),
+}
+
+
+def get_baseline(name: str) -> BaselineSpec:
+    try:
+        return BASELINES[name]
+    except KeyError:
+        raise ShapeError(
+            f"unknown baseline {name!r}; known: {sorted(BASELINES)}"
+        ) from None
+
+
+def simulate_baseline(
+    name: str,
+    sym: SymbolicFactor,
+    n_ranks: int,
+    machine: MachineModel,
+    nb: int = 48,
+    method: str = "cholesky",
+    threads_per_rank: int = 1,
+) -> ParallelFactorResult:
+    """Run a named baseline's factorization on the simulated machine."""
+    spec = get_baseline(name)
+    opts = PlanOptions(nb=nb, policy=spec.policy)
+    return simulate_factorization(
+        sym,
+        n_ranks,
+        machine,
+        opts,
+        method=method,
+        threads_per_rank=threads_per_rank,
+    )

@@ -1,0 +1,27 @@
+"""The sequential reference.
+
+Speedups and efficiencies in every benchmark are measured against the
+simulated single-rank execution of the same engine on the same machine
+model — the standard strong-scaling baseline.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+from repro.parallel.driver import simulate_factorization
+from repro.parallel.plan import PlanOptions
+from repro.symbolic.analyze import SymbolicFactor
+
+
+def sequential_reference_time(
+    sym: SymbolicFactor,
+    machine: MachineModel,
+    nb: int = 48,
+    method: str = "cholesky",
+) -> float:
+    """Simulated single-rank factorization time (the T(1) of speedup
+    curves)."""
+    res = simulate_factorization(
+        sym, 1, machine, PlanOptions(nb=nb), method=method
+    )
+    return res.makespan

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Subcommands mirror the workflow of the library:
+
+* ``info``     — analyze a problem and print the symbolic statistics;
+* ``solve``    — factor and solve, print accuracy diagnostics;
+* ``scale``    — simulated strong-scaling sweep on a machine model;
+* ``compare``  — baseline solver comparison at given rank counts;
+* ``suite``    — print the paper-suite inventory table (T1).
+
+Problems come from ``--mesh KIND:SIZE`` (generators) or ``--matrix FILE``
+(Matrix Market). Run ``python -m repro.cli <cmd> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.solver import SparseSolver
+from repro.gen import (
+    convection_diffusion2d,
+    elasticity3d,
+    grid2d_9pt,
+    grid2d_anisotropic,
+    grid2d_laplacian,
+    grid3d_27pt,
+    grid3d_laplacian,
+    paper_suite,
+    random_spd_sparse,
+    unstructured2d,
+)
+from repro.machine import get_machine
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import coo_to_csc
+from repro.sparse.io_mm import read_matrix_market
+from repro.sparse.ops import tril
+from repro.util.errors import ReproError, ShapeError
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+MESH_KINDS = {
+    "cube": grid3d_laplacian,
+    "cube27": grid3d_27pt,
+    "plate": grid2d_laplacian,
+    "plate9": grid2d_9pt,
+    "aniso": grid2d_anisotropic,
+    "elast": elasticity3d,
+    "random": lambda n: random_spd_sparse(n, avg_degree=5, seed=0),
+    "unstructured": lambda n: unstructured2d(n, seed=0),
+    "convdiff": lambda n: convection_diffusion2d(n, peclet=1.0),
+}
+
+#: mesh kinds producing unsymmetric matrices (handled by the LU solver)
+UNSYM_KINDS = {"convdiff"}
+
+
+def build_matrix(args) -> CSCMatrix:
+    """Resolve --mesh / --matrix into the lower-triangular CSC input."""
+    if args.matrix:
+        coo, info = read_matrix_market(args.matrix)
+        full = coo_to_csc(coo)
+        return tril(full)
+    if not args.mesh:
+        raise ShapeError("provide --mesh KIND:SIZE or --matrix FILE")
+    try:
+        kind, size_s = args.mesh.split(":", 1)
+        size = int(size_s)
+    except ValueError:
+        raise ShapeError(
+            f"--mesh must look like cube:12; got {args.mesh!r}"
+        ) from None
+    try:
+        builder = MESH_KINDS[kind]
+    except KeyError:
+        raise ShapeError(
+            f"unknown mesh kind {kind!r}; known: {sorted(MESH_KINDS)}"
+        ) from None
+    return builder(size)
+
+
+def cmd_info(args) -> int:
+    a = build_matrix(args)
+    solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+    info = solver.analyze()
+    print(
+        format_table(
+            ["field", "value"],
+            [
+                ["n", info.n],
+                ["nnz(tril A)", info.nnz_a],
+                ["nnz(L)", info.nnz_factor],
+                ["stored entries", info.nnz_stored],
+                ["fill ratio", round(info.fill_ratio, 3)],
+                ["factor Mflop", round(info.factor_flops / 1e6, 3)],
+                ["solve Mflop", round(info.solve_flops / 1e6, 3)],
+                ["supernodes", info.n_supernodes],
+                ["analyze wall [s]", round(info.wall_time, 3)],
+            ],
+            title=f"analysis ({args.ordering} ordering)",
+        )
+    )
+    return 0
+
+
+def cmd_solve(args) -> int:
+    a = build_matrix(args)
+    n = a.shape[0]
+    unsym = args.lu or (
+        args.mesh and args.mesh.split(":", 1)[0] in UNSYM_KINDS
+    )
+    if args.rhs == "ones":
+        b = np.ones(n)
+    else:
+        b = make_rng(args.seed).standard_normal(n)
+    if unsym:
+        from repro.core.lu_solver import UnsymmetricSolver
+
+        lu = UnsymmetricSolver(a, ordering=args.ordering)
+        res = lu.solve(b, refine=not args.no_refine)
+        print(
+            f"n={n}  solver=lu  residual={res.residual:.3e}  "
+            f"refine_iters={res.refinement_iterations}"
+        )
+        return 0 if res.residual < 1e-8 else 1
+    solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+    res = solver.solve(b, refine=not args.no_refine)
+    print(f"n={n}  residual={res.residual:.3e}  refine_iters={res.refinement_iterations}")
+    if args.condest:
+        print(f"condition estimate (1-norm): {solver.condition_estimate():.3e}")
+    return 0 if res.residual < 1e-8 else 1
+
+
+def _parse_ranks(spec: str) -> list[int]:
+    try:
+        ranks = [int(tok) for tok in spec.split(",") if tok]
+    except ValueError:
+        raise ShapeError(f"--ranks must be comma-separated ints; got {spec!r}")
+    if not ranks or any(r < 1 for r in ranks):
+        raise ShapeError("--ranks must contain positive integers")
+    return ranks
+
+
+def cmd_scale(args) -> int:
+    from repro.analysis import render_scaling_table, scaling_series
+    from repro.parallel import PlanOptions
+
+    a = build_matrix(args)
+    solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+    solver.analyze()
+    machine = get_machine(args.machine)
+    pts = scaling_series(
+        solver.sym,
+        _parse_ranks(args.ranks),
+        machine,
+        PlanOptions(nb=args.nb, policy=args.policy),
+        method=args.method,
+        threads_per_rank=args.threads,
+    )
+    print(
+        render_scaling_table(
+            pts,
+            title=(
+                f"strong scaling on {machine.name} "
+                f"(policy={args.policy}, nb={args.nb}, threads={args.threads})"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines import BASELINES, simulate_baseline
+
+    a = build_matrix(args)
+    solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+    solver.analyze()
+    machine = get_machine(args.machine)
+    names = list(BASELINES)
+    rows = []
+    for p in _parse_ranks(args.ranks):
+        row = [p]
+        for name in names:
+            res = simulate_baseline(
+                name, solver.sym, p, machine, nb=args.nb, method=args.method
+            )
+            row.append(round(res.makespan * 1e3, 4))
+        rows.append(row)
+    print(
+        format_table(
+            ["ranks"] + names,
+            rows,
+            title=f"factor time [ms] by solver on {machine.name}",
+        )
+    )
+    return 0
+
+
+def cmd_suite(args) -> int:
+    rows = []
+    for m in paper_suite():
+        lower = m.build()
+        rows.append([m.name, m.mesh, lower.shape[0], lower.nnz, m.archetype])
+    print(
+        format_table(
+            ["name", "mesh", "n", "nnz(tril)", "archetype"],
+            rows,
+            title="paper suite",
+        )
+    )
+    return 0
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--mesh", help="generator problem, e.g. cube:12")
+    p.add_argument("--matrix", help="Matrix Market file")
+    p.add_argument("--method", default="cholesky", choices=["cholesky", "ldlt"])
+    p.add_argument("--ordering", default="nd")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="analyze and print symbolic statistics")
+    _add_common(p)
+    p.set_defaults(func=cmd_info)
+
+    p = sub.add_parser("solve", help="factor + solve, print diagnostics")
+    _add_common(p)
+    p.add_argument("--rhs", default="ones", choices=["ones", "random"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-refine", action="store_true")
+    p.add_argument("--condest", action="store_true")
+    p.add_argument(
+        "--lu",
+        action="store_true",
+        help="use the unsymmetric LU solver (implied by convdiff meshes)",
+    )
+    p.set_defaults(func=cmd_solve)
+
+    p = sub.add_parser("scale", help="simulated strong-scaling sweep")
+    _add_common(p)
+    p.add_argument("--ranks", default="1,2,4,8,16")
+    p.add_argument("--machine", default="generic-cluster")
+    p.add_argument("--policy", default="2d", choices=["2d", "1d", "static"])
+    p.add_argument("--nb", type=int, default=32)
+    p.add_argument("--threads", type=int, default=1)
+    p.set_defaults(func=cmd_scale)
+
+    p = sub.add_parser("compare", help="baseline solver comparison")
+    _add_common(p)
+    p.add_argument("--ranks", default="4,16")
+    p.add_argument("--machine", default="bluegene-p")
+    p.add_argument("--nb", type=int, default=32)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("suite", help="print the paper-suite inventory")
+    p.set_defaults(func=cmd_suite)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

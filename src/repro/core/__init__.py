@@ -1,0 +1,20 @@
+"""The public solver API (WSMP-style analyze / factor / solve)."""
+
+from repro.core.lu_solver import UnsymmetricSolver, LUSolveResult
+from repro.core.solver import (
+    SparseSolver,
+    ParallelConfig,
+    SolveResult,
+    AnalyzeInfo,
+    ParallelRunReport,
+)
+
+__all__ = [
+    "UnsymmetricSolver",
+    "LUSolveResult",
+    "SparseSolver",
+    "ParallelConfig",
+    "SolveResult",
+    "AnalyzeInfo",
+    "ParallelRunReport",
+]

@@ -1,0 +1,337 @@
+"""`SparseSolver` — the library's front door.
+
+Mirrors the three-phase interface of WSMP (and of every serious sparse
+direct solver): symbolic **analyze** once per sparsity pattern, numeric
+**factor** once per value set, **solve** per right-hand side. A fourth
+entry point, :meth:`SparseSolver.simulate`, runs the same factorization
+distributed over a simulated massively parallel machine and reports its
+timing — the reproduction's measurement instrument.
+
+Example
+-------
+>>> from repro.gen import grid3d_laplacian
+>>> from repro.core import SparseSolver
+>>> import numpy as np
+>>> a = grid3d_laplacian(4)
+>>> solver = SparseSolver(a)
+>>> info = solver.analyze()
+>>> _ = solver.factor()
+>>> x = solver.solve(np.ones(a.shape[0])).x
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.structure import AdjacencyGraph
+from repro.machine.model import MachineModel
+from repro.machine.presets import GENERIC_CLUSTER
+from repro.mf.numeric import NumericFactor, multifrontal_factor
+from repro.mf.refine import iterative_refinement
+from repro.mf.solve_phase import solve as mf_solve
+from repro.ordering.registry import get_ordering
+from repro.parallel.driver import (
+    ParallelFactorResult,
+    ParallelSolveResult,
+    simulate_factorization,
+    simulate_solve,
+)
+from repro.parallel.plan import PlanOptions
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import sym_matvec_lower, tril, is_structurally_symmetric
+from repro.symbolic.analyze import AnalyzeOptions, SymbolicFactor, analyze
+from repro.util.errors import ReproError, ShapeError
+from repro.util.timing import WallTimer
+from repro.util.validation import as_float_array
+
+
+@dataclass(frozen=True)
+class AnalyzeInfo:
+    """Summary of the analyze phase."""
+
+    n: int
+    nnz_a: int
+    nnz_factor: int
+    nnz_stored: int
+    factor_flops: int
+    solve_flops: int
+    n_supernodes: int
+    fill_ratio: float
+    #: host wall time of the analyze phase [s]
+    wall_time: float
+
+
+@dataclass(frozen=True)
+class SolveResult:
+    """Solution plus accuracy diagnostics."""
+
+    x: np.ndarray
+    #: relative max-norm residual of the returned solution
+    residual: float
+    #: refinement iterations performed (0 = plain direct solve)
+    refinement_iterations: int
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Configuration of one simulated parallel run."""
+
+    n_ranks: int
+    machine: MachineModel = GENERIC_CLUSTER
+    threads_per_rank: int = 1
+    #: block-cyclic block size
+    nb: int = 48
+    #: front distribution policy ("2d", "1d", "static")
+    policy: str = "2d"
+
+    def plan_options(self) -> PlanOptions:
+        return PlanOptions(nb=self.nb, policy=self.policy)
+
+
+@dataclass(frozen=True)
+class ParallelRunReport:
+    """Timing report of one simulated parallel factorization (+ solve)."""
+
+    config: ParallelConfig
+    factor_time: float
+    factor_gflops: float
+    peak_fraction: float
+    comm_fraction: float
+    n_messages: int
+    total_bytes: int
+    solve_time: float | None = None
+    #: full result objects for deeper inspection
+    factor_result: ParallelFactorResult | None = field(
+        default=None, repr=False, compare=False
+    )
+    solve_result: ParallelSolveResult | None = field(
+        default=None, repr=False, compare=False
+    )
+
+
+class SparseSolver:
+    """Sparse symmetric direct solver (Cholesky / LDLᵀ).
+
+    Parameters
+    ----------
+    a
+        The matrix: either the lower triangle of a symmetric matrix, or a
+        full symmetric CSC matrix (detected and reduced automatically).
+    method
+        ``"cholesky"`` for SPD input, ``"ldlt"`` for symmetric strongly
+        regular input.
+    ordering
+        Fill-reducing ordering name from :data:`repro.ordering.ORDERINGS`
+        (default ``"nd"`` — nested dissection, required for good parallel
+        scaling) or an explicit permutation array.
+    """
+
+    def __init__(
+        self,
+        a: CSCMatrix,
+        method: str = "cholesky",
+        ordering="nd",
+        analyze_options: AnalyzeOptions | None = None,
+        pivot_perturbation: float | None = None,
+    ):
+        if a.shape[0] != a.shape[1]:
+            raise ShapeError("matrix must be square")
+        if method not in ("cholesky", "ldlt"):
+            raise ShapeError(f"unknown method {method!r}")
+        lower = tril(a)
+        if lower.nnz != a.nnz:
+            # Caller passed a full symmetric matrix: verify and reduce.
+            if not is_structurally_symmetric(a):
+                raise ShapeError(
+                    "matrix is neither lower-triangular nor structurally "
+                    "symmetric"
+                )
+            from repro.sparse.convert import csc_to_csr
+
+            t = csc_to_csr(a)  # CSR of A == CSC layout of A^T
+            if not np.allclose(t.data, a.data, rtol=1e-12, atol=0):
+                raise ShapeError(
+                    "matrix is structurally but not numerically symmetric; "
+                    "symmetrize it first (repro.sparse.symmetrize)"
+                )
+        self.lower = lower
+        self.method = method
+        self.ordering = ordering
+        self.analyze_options = analyze_options
+        self.pivot_perturbation = pivot_perturbation
+        self.sym: SymbolicFactor | None = None
+        self.numeric: NumericFactor | None = None
+        self._analyze_info: AnalyzeInfo | None = None
+
+    # -- phases ------------------------------------------------------------
+
+    def analyze(self) -> AnalyzeInfo:
+        """Ordering + symbolic factorization (once per pattern)."""
+        with WallTimer() as t:
+            if isinstance(self.ordering, str):
+                graph = AdjacencyGraph.from_symmetric_lower(self.lower)
+                perm = get_ordering(self.ordering)(graph)
+            else:
+                perm = np.asarray(self.ordering, dtype=np.int64)
+            self.sym = analyze(self.lower, perm, self.analyze_options)
+        s = self.sym
+        self._analyze_info = AnalyzeInfo(
+            n=s.n,
+            nnz_a=self.lower.nnz,
+            nnz_factor=s.nnz_factor,
+            nnz_stored=s.nnz_stored,
+            factor_flops=s.factor_flops,
+            solve_flops=s.solve_flops,
+            n_supernodes=s.n_supernodes,
+            fill_ratio=s.nnz_factor / max(self.lower.nnz, 1),
+            wall_time=t.elapsed,
+        )
+        return self._analyze_info
+
+    def factor(self) -> NumericFactor:
+        """Sequential numeric factorization on the host."""
+        if self.sym is None:
+            self.analyze()
+        self.numeric = multifrontal_factor(
+            self.sym,
+            method=self.method,
+            pivot_perturbation=self.pivot_perturbation,
+        )
+        return self.numeric
+
+    def solve(self, b: np.ndarray, refine: bool = True, tol: float = 1e-12) -> SolveResult:
+        """Solve ``A x = b`` (factors first if needed)."""
+        if self.numeric is None:
+            self.factor()
+        b = as_float_array(b, "b")
+        if refine:
+            res = iterative_refinement(
+                self.numeric, self.lower, b, tol=tol
+            )
+            return SolveResult(
+                x=res.x,
+                residual=res.residual_history[-1],
+                refinement_iterations=res.iterations,
+            )
+        x = mf_solve(self.numeric, b)
+        r = b - sym_matvec_lower(self.lower, x)
+        denom = max(float(np.max(np.abs(b))), 1e-300)
+        return SolveResult(
+            x=x,
+            residual=float(np.max(np.abs(r))) / denom,
+            refinement_iterations=0,
+        )
+
+    # -- simulated parallel execution ---------------------------------------
+
+    def simulate(
+        self,
+        config: ParallelConfig,
+        b: np.ndarray | None = None,
+        verify: bool = False,
+    ) -> ParallelRunReport:
+        """Run the distributed factorization (and optionally a solve) on
+        the simulated machine described by *config*.
+
+        With ``verify=True`` the distributed factor is reassembled and
+        compared against the sequential factor (tests use this; it defeats
+        the purpose of simulating large machines on big problems, so it is
+        off by default).
+        """
+        if self.sym is None:
+            self.analyze()
+        fres = simulate_factorization(
+            self.sym,
+            config.n_ranks,
+            config.machine,
+            config.plan_options(),
+            method=self.method,
+            threads_per_rank=config.threads_per_rank,
+        )
+        if verify:
+            if self.numeric is None:
+                self.factor()
+            ref = self.numeric.to_dense_l()
+            got = fres.to_dense_l()
+            err = float(np.max(np.abs(ref - got)))
+            scale = float(np.max(np.abs(ref))) or 1.0
+            if err > 1e-8 * scale:
+                raise ReproError(
+                    f"distributed factor mismatch: max err {err:.3e}"
+                )
+        sres = None
+        if b is not None:
+            sres = simulate_solve(fres, as_float_array(b, "b"))
+        return ParallelRunReport(
+            config=config,
+            factor_time=fres.makespan,
+            factor_gflops=fres.gflops,
+            peak_fraction=fres.peak_fraction,
+            comm_fraction=fres.comm_fraction(),
+            n_messages=fres.sim.ledger.n_messages,
+            total_bytes=fres.sim.ledger.total_bytes,
+            solve_time=None if sres is None else sres.makespan,
+            factor_result=fres,
+            solve_result=sres,
+        )
+
+    # -- convenience ---------------------------------------------------------
+
+    def refactor(self, new_lower: CSCMatrix) -> NumericFactor:
+        """Numeric re-factorization with new values on the *same* pattern.
+
+        The workhorse of nonlinear/transient workflows (the paper's
+        sheet-forming runs factor thousands of matrices with one analysis):
+        reuses the symbolic factorization, only the numeric phase reruns.
+        """
+        if self.sym is None:
+            raise ReproError("call analyze() (or factor()) before refactor()")
+        if new_lower.shape != self.lower.shape:
+            raise ShapeError("refactor requires the same matrix dimension")
+        if not (
+            np.array_equal(new_lower.indptr, self.lower.indptr)
+            and np.array_equal(new_lower.indices, self.lower.indices)
+        ):
+            raise ShapeError(
+                "refactor requires the same sparsity pattern; run a new "
+                "SparseSolver for a different structure"
+            )
+        self.lower = new_lower
+        # Permute the new values through the existing symbolic ordering.
+        from repro.sparse.permute import permute_symmetric_lower
+
+        self.sym.permuted_lower = permute_symmetric_lower(
+            new_lower, self.sym.perm
+        )
+        self.numeric = multifrontal_factor(
+            self.sym,
+            method=self.method,
+            pivot_perturbation=self.pivot_perturbation,
+        )
+        return self.numeric
+
+    def condition_estimate(self, max_iter: int = 5) -> float:
+        """Hager–Higham 1-norm condition estimate (factors if needed)."""
+        from repro.mf.condest import condest
+
+        if self.numeric is None:
+            self.factor()
+        return condest(self.lower, self.numeric, max_iter=max_iter)
+
+    def schur_complement(self, schur_set) -> np.ndarray:
+        """Dense Schur complement of this matrix onto *schur_set* (see
+        :func:`repro.mf.schur.schur_complement`)."""
+        from repro.mf.schur import schur_complement as _schur
+
+        ordering = self.ordering if isinstance(self.ordering, str) else "nd"
+        return _schur(
+            self.lower, schur_set, method=self.method, ordering=ordering
+        )
+
+    @property
+    def info(self) -> AnalyzeInfo:
+        if self._analyze_info is None:
+            raise ReproError("call analyze() first")
+        return self._analyze_info

@@ -1,0 +1,85 @@
+"""Partial factorization of a frontal matrix.
+
+The core dense operation of the multifrontal method: given a symmetric
+front F of order m with k pivot columns,
+
+    F = [ F11  ·   ]      (lower triangles meaningful)
+        [ F21  F22 ]
+
+factor F11 = L11 L11ᵀ, compute L21 = F21 L11^{-T}, and form the Schur
+complement U = F22 - L21 L21ᵀ. The (L11, L21) block is the slice of the
+global factor owned by the supernode; U is the update matrix passed to the
+parent front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dense.chol import cholesky_in_place, _trsm_right_lower_transpose, _check_square
+from repro.dense.ldlt import ldlt_in_place
+from repro.dense.syrk import syrk_lower_update, syrk_lower_update_scaled
+from repro.util.errors import ShapeError
+
+
+def partial_cholesky(front: np.ndarray, k: int, block: int = 64) -> None:
+    """Eliminate the first *k* pivots of symmetric *front* in place.
+
+    On return the leading m×k panel holds [L11; L21] (lower triangle of L11
+    meaningful) and the trailing (m-k)×(m-k) block holds the Schur
+    complement (lower triangle meaningful).
+
+    Raises :class:`~repro.util.errors.NotPositiveDefiniteError` if a pivot
+    fails, with the *local* column index recorded.
+    """
+    m = _check_square(front)
+    if not (0 <= k <= m):
+        raise ShapeError(f"pivot count {k} out of range for front of order {m}")
+    if k == 0:
+        return
+    cholesky_in_place(front[:k, :k], block=block)
+    if k < m:
+        panel = front[k:, :k]
+        _trsm_right_lower_transpose(front[:k, :k], panel)
+        syrk_lower_update(front[k:, k:], panel)
+
+
+def partial_ldlt(
+    front: np.ndarray,
+    k: int,
+    perturb: float | None = None,
+    col_offset: int = 0,
+    perturbed: list[int] | None = None,
+) -> np.ndarray:
+    """LDLᵀ variant of :func:`partial_cholesky`.
+
+    Returns the k pivot values D (also left on the diagonal of the pivot
+    block); the panel holds unit-lower L21·(scaled), i.e. ``L21`` such that
+    ``F21 = L21 diag(d) L11ᵀ`` with unit L11. Static pivot perturbation
+    passes through to :func:`repro.dense.ldlt.ldlt_in_place`.
+    """
+    m = _check_square(front)
+    if not (0 <= k <= m):
+        raise ShapeError(f"pivot count {k} out of range for front of order {m}")
+    if k == 0:
+        return np.empty(0)
+    d = ldlt_in_place(
+        front[:k, :k], perturb=perturb, col_offset=col_offset, perturbed=perturbed
+    )
+    if k < m:
+        panel = front[k:, :k]
+        # Solve panel <- F21 L11^{-T} D^{-1}: first the unit-triangular
+        # solve, then the diagonal scaling.
+        _trsm_right_unit_lower_transpose(front[:k, :k], panel)
+        scaled = panel / d[None, :]
+        syrk_lower_update_scaled(front[k:, k:], scaled, d)
+        panel[:, :] = scaled
+    return d
+
+
+def _trsm_right_unit_lower_transpose(l: np.ndarray, b: np.ndarray) -> None:
+    """B <- B L^{-T} with unit-diagonal lower L (strictly-lower part read)."""
+    k = l.shape[0]
+    for j in range(k):
+        if j + 1 < k:
+            b[:, j + 1:] -= np.outer(b[:, j], l[j + 1:, j])

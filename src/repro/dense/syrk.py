@@ -1,0 +1,31 @@
+"""Symmetric rank-k update.
+
+``C <- C - A Aᵀ`` restricted (by contract) to the lower triangle: the
+upper triangle of C is written too but is never read by the factorization
+kernels, matching the "lower is meaningful" convention used throughout the
+front code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+
+def syrk_lower_update(c: np.ndarray, a: np.ndarray) -> None:
+    """In-place ``C -= A @ A.T`` (C square, leading dims match)."""
+    if c.ndim != 2 or c.shape[0] != c.shape[1]:
+        raise ShapeError(f"C must be square; got {c.shape}")
+    if a.ndim != 2 or a.shape[0] != c.shape[0]:
+        raise ShapeError(
+            f"A rows {a.shape} incompatible with C order {c.shape[0]}"
+        )
+    c -= a @ a.T
+
+
+def syrk_lower_update_scaled(c: np.ndarray, a: np.ndarray, d: np.ndarray) -> None:
+    """In-place ``C -= A @ diag(d) @ A.T`` (the LDLᵀ form of the update)."""
+    if d.ndim != 1 or d.size != a.shape[1]:
+        raise ShapeError("d must be 1-D with length = A columns")
+    c -= (a * d[None, :]) @ a.T

@@ -1,0 +1,40 @@
+"""Problem generators.
+
+The SC09 evaluation uses large industrial finite-element matrices (structural
+analysis, sheet-metal forming). Those exact inputs are proprietary/huge, so
+this package generates synthetic operators with the same structural character
+— bounded-degree SPD matrices from 2D/3D meshes, whose separator structure
+(and hence multifrontal scalability behaviour) matches the paper's problem
+class at laptop scale.
+
+See DESIGN.md ("Substitutions") for the full argument.
+"""
+
+from repro.gen.grids import (
+    grid2d_laplacian,
+    grid3d_laplacian,
+    grid2d_9pt,
+    grid3d_27pt,
+    grid2d_anisotropic,
+)
+from repro.gen.elasticity import elasticity3d
+from repro.gen.random_spd import random_spd_sparse, random_sym_pattern
+from repro.gen.unstructured import unstructured2d
+from repro.gen.convection import convection_diffusion2d
+from repro.gen.paper_suite import paper_suite, PaperMatrix, get_paper_matrix
+
+__all__ = [
+    "grid2d_laplacian",
+    "grid3d_laplacian",
+    "grid2d_9pt",
+    "grid3d_27pt",
+    "grid2d_anisotropic",
+    "elasticity3d",
+    "random_spd_sparse",
+    "random_sym_pattern",
+    "unstructured2d",
+    "convection_diffusion2d",
+    "paper_suite",
+    "PaperMatrix",
+    "get_paper_matrix",
+]

@@ -1,0 +1,180 @@
+"""Structured-mesh operators: 2D/3D finite-difference / finite-element
+stencil matrices.
+
+All generators return the **lower triangle** (diagonal included) of an SPD
+matrix as a :class:`~repro.sparse.csc.CSCMatrix`, which is the input format
+of the factorization pipeline. Vertices are numbered lexicographically
+(x fastest).
+
+These are the canonical model problems for sparse direct solvers: a 2D
+``k × k`` grid has O(k) = O(n^{1/2}) separators, a 3D ``k × k × k`` grid has
+O(k^2) = O(n^{2/3}) separators, which is exactly the regime distinction the
+paper's scaling discussion rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import coo_to_csc
+from repro.util.errors import ShapeError
+
+
+def _lower_from_edges(
+    n: int,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    diag: np.ndarray,
+) -> CSCMatrix:
+    """Assemble lower triangle from symmetric edge list (each edge given
+    once, orientation arbitrary) plus explicit diagonal."""
+    r = np.maximum(rows, cols)
+    c = np.minimum(rows, cols)
+    all_r = np.concatenate([np.arange(n, dtype=np.int64), r])
+    all_c = np.concatenate([np.arange(n, dtype=np.int64), c])
+    all_v = np.concatenate([diag, vals])
+    return coo_to_csc(COOMatrix((n, n), all_r, all_c, all_v))
+
+
+def grid2d_laplacian(nx: int, ny: int | None = None) -> CSCMatrix:
+    """5-point Laplacian on an ``nx × ny`` grid (Dirichlet): lower triangle.
+
+    Diagonal 4, off-diagonal -1 for mesh neighbours. SPD.
+    """
+    if ny is None:
+        ny = nx
+    if nx < 1 or ny < 1:
+        raise ShapeError("grid dimensions must be >= 1")
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64).reshape(ny, nx)
+    h_edges = (idx[:, :-1].ravel(), idx[:, 1:].ravel())
+    v_edges = (idx[:-1, :].ravel(), idx[1:, :].ravel())
+    rows = np.concatenate([h_edges[0], v_edges[0]])
+    cols = np.concatenate([h_edges[1], v_edges[1]])
+    vals = np.full(rows.size, -1.0)
+    diag = np.full(n, 4.0)
+    return _lower_from_edges(n, rows, cols, vals, diag)
+
+
+def grid3d_laplacian(nx: int, ny: int | None = None, nz: int | None = None) -> CSCMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid (Dirichlet): lower
+    triangle. Diagonal 6, neighbours -1. SPD."""
+    if ny is None:
+        ny = nx
+    if nz is None:
+        nz = nx
+    if nx < 1 or ny < 1 or nz < 1:
+        raise ShapeError("grid dimensions must be >= 1")
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64).reshape(nz, ny, nx)
+    ex = (idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel())
+    ey = (idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel())
+    ez = (idx[:-1, :, :].ravel(), idx[1:, :, :].ravel())
+    rows = np.concatenate([ex[0], ey[0], ez[0]])
+    cols = np.concatenate([ex[1], ey[1], ez[1]])
+    vals = np.full(rows.size, -1.0)
+    diag = np.full(n, 6.0)
+    return _lower_from_edges(n, rows, cols, vals, diag)
+
+
+def grid2d_9pt(nx: int, ny: int | None = None) -> CSCMatrix:
+    """9-point (bilinear FEM-like) operator on an ``nx × ny`` grid: lower
+    triangle. Diagonal 8, edge neighbours -1, diagonal neighbours -1/2,
+    plus a Dirichlet shift to keep it SPD."""
+    if ny is None:
+        ny = nx
+    if nx < 1 or ny < 1:
+        raise ShapeError("grid dimensions must be >= 1")
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64).reshape(ny, nx)
+    pairs = []
+    weights = []
+    for (dy, dx), w in (
+        ((0, 1), -1.0),
+        ((1, 0), -1.0),
+        ((1, 1), -0.5),
+        ((1, -1), -0.5),
+    ):
+        a = idx[max(0, -dy): ny - max(0, dy), max(0, -dx): nx - max(0, dx)]
+        b = idx[max(0, dy): ny - max(0, -dy), max(0, dx): nx - max(0, -dx)]
+        pairs.append((a.ravel(), b.ravel()))
+        weights.append(np.full(a.size, w))
+    rows = np.concatenate([p[0] for p in pairs])
+    cols = np.concatenate([p[1] for p in pairs])
+    vals = np.concatenate(weights)
+    # Diagonal strictly dominates the (at most 8) neighbour weights sum 6,
+    # so the matrix is SPD even at interior vertices.
+    diag = np.full(n, 8.0)
+    return _lower_from_edges(n, rows, cols, vals, diag)
+
+
+def grid3d_27pt(nx: int, ny: int | None = None, nz: int | None = None) -> CSCMatrix:
+    """27-point (trilinear FEM-like) operator on a 3D grid: lower triangle.
+
+    Weights: face neighbours -1, edge neighbours -1/2, corner neighbours
+    -1/4; diagonal dominates the worst-case neighbour sum (6 + 12/2 + 8/4
+    = 14), giving SPD.
+    """
+    if ny is None:
+        ny = nx
+    if nz is None:
+        nz = nx
+    if nx < 1 or ny < 1 or nz < 1:
+        raise ShapeError("grid dimensions must be >= 1")
+    n = nx * ny * nz
+    idx = np.arange(n, dtype=np.int64).reshape(nz, ny, nx)
+    rows_list, cols_list, vals_list = [], [], []
+    offsets = []
+    for dz in (0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                if dz == 0 and (dy < 0 or (dy == 0 and dx <= 0)):
+                    continue  # each undirected offset once
+                offsets.append((dz, dy, dx))
+    for dz, dy, dx in offsets:
+        order = abs(dz) + abs(dy) + abs(dx)
+        w = {1: -1.0, 2: -0.5, 3: -0.25}[order]
+        a = idx[
+            max(0, -dz): nz - max(0, dz),
+            max(0, -dy): ny - max(0, dy),
+            max(0, -dx): nx - max(0, dx),
+        ]
+        b = idx[
+            max(0, dz): nz - max(0, -dz),
+            max(0, dy): ny - max(0, -dy),
+            max(0, dx): nx - max(0, -dx),
+        ]
+        rows_list.append(a.ravel())
+        cols_list.append(b.ravel())
+        vals_list.append(np.full(a.size, w))
+    rows = np.concatenate(rows_list)
+    cols = np.concatenate(cols_list)
+    vals = np.concatenate(vals_list)
+    diag = np.full(n, 15.0)
+    return _lower_from_edges(n, rows, cols, vals, diag)
+
+
+def grid2d_anisotropic(nx: int, ny: int | None = None, epsilon: float = 0.01) -> CSCMatrix:
+    """Anisotropic 5-point operator: x-coupling 1, y-coupling *epsilon*.
+
+    Stresses orderings the way thin-shell structural meshes do (strongly
+    coupled lines).
+    """
+    if ny is None:
+        ny = nx
+    if nx < 1 or ny < 1:
+        raise ShapeError("grid dimensions must be >= 1")
+    if epsilon <= 0:
+        raise ShapeError("epsilon must be positive")
+    n = nx * ny
+    idx = np.arange(n, dtype=np.int64).reshape(ny, nx)
+    hr, hc = idx[:, :-1].ravel(), idx[:, 1:].ravel()
+    vr, vc = idx[:-1, :].ravel(), idx[1:, :].ravel()
+    rows = np.concatenate([hr, vr])
+    cols = np.concatenate([hc, vc])
+    vals = np.concatenate([np.full(hr.size, -1.0), np.full(vr.size, -epsilon)])
+    diag = np.full(n, 2.0 * (1.0 + epsilon))
+    return _lower_from_edges(n, rows, cols, vals, diag)

@@ -1,0 +1,98 @@
+"""The scaled "paper suite" — stand-ins for the SC09 test-matrix table.
+
+The paper's evaluation reports a table of industrial test matrices
+(structural analysis / sheet-metal-forming FE models in the audikw_1 /
+ldoor / nd24k class). Those inputs are proprietary or far beyond pure-Python
+scale, so the suite below defines named synthetic instances whose *kind* of
+structure matches each archetype:
+
+* ``cube-*``     3D scalar mesh (7-pt), the nd24k/bone010 archetype;
+* ``hexmesh-*``  3D 27-pt mesh, denser fronts (audikw_1-like density);
+* ``elast-*``    3D 3-dof elasticity blocks (structural mechanics archetype);
+* ``shell-*``    thin 3D slab, the sheet-metal-forming archetype (one
+  dimension much smaller, quasi-2D separators);
+* ``plate-*``    2D 9-pt mesh (ldoor-like shell/plate limit).
+
+Benchmark T1 regenerates the suite table (n, nnz, nnz(L), flops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sparse.csc import CSCMatrix
+from repro.gen.grids import grid2d_9pt, grid3d_laplacian, grid3d_27pt
+from repro.gen.elasticity import elasticity3d
+
+
+@dataclass(frozen=True)
+class PaperMatrix:
+    """One named instance of the reproduction test suite."""
+
+    name: str
+    #: archetype the instance stands in for (documentation only)
+    archetype: str
+    #: generator returning the lower-triangular CSC matrix
+    build: Callable[[], CSCMatrix]
+    #: mesh descriptor for reporting
+    mesh: str
+
+
+def _suite() -> list[PaperMatrix]:
+    return [
+        PaperMatrix(
+            "cube-s", "3D scalar FE mesh (nd24k-class)",
+            lambda: grid3d_laplacian(8), "8x8x8, 7-pt",
+        ),
+        PaperMatrix(
+            "cube-m", "3D scalar FE mesh (nd24k-class)",
+            lambda: grid3d_laplacian(12), "12x12x12, 7-pt",
+        ),
+        PaperMatrix(
+            "cube-l", "3D scalar FE mesh (bone010-class)",
+            lambda: grid3d_laplacian(16), "16x16x16, 7-pt",
+        ),
+        PaperMatrix(
+            "cube-xl", "3D scalar FE mesh, largest instance (af_shell-class)",
+            lambda: grid3d_laplacian(20), "20x20x20, 7-pt",
+        ),
+        PaperMatrix(
+            "hexmesh-m", "3D solid FE mesh, dense fronts (audikw_1-class)",
+            lambda: grid3d_27pt(10), "10x10x10, 27-pt",
+        ),
+        PaperMatrix(
+            "elast-s", "3D elasticity, 3 dof/vertex (structural mechanics)",
+            lambda: elasticity3d(6), "6x6x6 x 3dof",
+        ),
+        PaperMatrix(
+            "elast-m", "3D elasticity, 3 dof/vertex (structural mechanics)",
+            lambda: elasticity3d(8), "8x8x8 x 3dof",
+        ),
+        PaperMatrix(
+            "shell-m", "thin-slab forming mesh (sheet-metal archetype)",
+            lambda: grid3d_laplacian(24, 24, 3), "24x24x3, 7-pt",
+        ),
+        PaperMatrix(
+            "plate-m", "2D plate/shell limit (ldoor-class)",
+            lambda: grid2d_9pt(32), "32x32, 9-pt",
+        ),
+        PaperMatrix(
+            "plate-l", "2D plate/shell limit (ldoor-class)",
+            lambda: grid2d_9pt(48), "48x48, 9-pt",
+        ),
+    ]
+
+
+def paper_suite() -> list[PaperMatrix]:
+    """The full named suite, smallest-first within each archetype."""
+    return _suite()
+
+
+def get_paper_matrix(name: str) -> PaperMatrix:
+    """Look up a suite instance by name."""
+    for m in _suite():
+        if m.name == name:
+            return m
+    known = ", ".join(m.name for m in _suite())
+    raise KeyError(f"unknown paper matrix {name!r}; known: {known}")

@@ -1,0 +1,61 @@
+"""Random SPD sparse matrices and random symmetric patterns.
+
+Used for fuzzing the factorization pipeline with unstructured sparsity
+(no mesh geometry), and as the adversarial counterpoint to the structured
+generators in :mod:`repro.gen.grids`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.convert import coo_to_csc
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng
+
+
+def random_sym_pattern(n: int, avg_degree: float, seed=None) -> tuple[np.ndarray, np.ndarray]:
+    """Random symmetric edge set (no self loops): returns (rows, cols) with
+    rows > cols, expected ``n * avg_degree / 2`` edges."""
+    if n < 1:
+        raise ShapeError("n must be >= 1")
+    if avg_degree < 0:
+        raise ShapeError("avg_degree must be non-negative")
+    rng = make_rng(seed)
+    n_edges = int(round(n * avg_degree / 2))
+    if n == 1 or n_edges == 0:
+        z = np.empty(0, dtype=np.int64)
+        return z, z
+    a = rng.integers(0, n, size=2 * n_edges)
+    b = rng.integers(0, n, size=2 * n_edges)
+    keep = a != b
+    a, b = a[keep][:n_edges], b[keep][:n_edges]
+    hi = np.maximum(a, b)
+    lo = np.minimum(a, b)
+    # dedupe
+    key = hi * n + lo
+    _, first = np.unique(key, return_index=True)
+    return hi[first].astype(np.int64), lo[first].astype(np.int64)
+
+
+def random_spd_sparse(n: int, avg_degree: float = 4.0, seed=None) -> CSCMatrix:
+    """Lower triangle of a random diagonally-dominant SPD matrix with
+    ~``avg_degree`` off-diagonal entries per row.
+
+    Off-diagonals are uniform in [-1, -0.1] ∪ [0.1, 1]; each diagonal entry
+    is set to (row |off-diag| sum) + 1, making the matrix strictly
+    diagonally dominant with positive diagonal, hence SPD.
+    """
+    rng = make_rng(seed)
+    hi, lo = random_sym_pattern(n, avg_degree, rng)
+    vals = rng.uniform(0.1, 1.0, size=hi.size) * rng.choice([-1.0, 1.0], size=hi.size)
+    abssum = np.zeros(n)
+    np.add.at(abssum, hi, np.abs(vals))
+    np.add.at(abssum, lo, np.abs(vals))
+    diag = abssum + 1.0
+    rows = np.concatenate([np.arange(n, dtype=np.int64), hi])
+    cols = np.concatenate([np.arange(n, dtype=np.int64), lo])
+    data = np.concatenate([diag, vals])
+    return coo_to_csc(COOMatrix((n, n), rows, cols, data))

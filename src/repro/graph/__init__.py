@@ -1,0 +1,27 @@
+"""Undirected graph machinery for fill-reducing orderings.
+
+The adjacency graph of a symmetric sparse matrix drives nested dissection:
+traversal (:mod:`repro.graph.traversal`) finds pseudo-peripheral start
+vertices and connected components, bisection (:mod:`repro.graph.bisection`)
+splits vertex sets with level-set growing plus Fiduccia–Mattheyses-style
+refinement, and separators (:mod:`repro.graph.separators`) converts the edge
+cut into a small vertex separator.
+"""
+
+from repro.graph.structure import AdjacencyGraph
+from repro.graph.traversal import (
+    bfs_levels,
+    connected_components,
+    pseudo_peripheral_vertex,
+)
+from repro.graph.bisection import bisect
+from repro.graph.separators import vertex_separator_from_bisection
+
+__all__ = [
+    "AdjacencyGraph",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral_vertex",
+    "bisect",
+    "vertex_separator_from_bisection",
+]

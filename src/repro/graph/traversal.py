@@ -1,0 +1,74 @@
+"""Graph traversal: BFS level structures, connected components,
+pseudo-peripheral vertices.
+
+These feed both RCM ordering (level structures) and nested-dissection
+bisection (start-vertex selection, per-component recursion).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.structure import AdjacencyGraph
+
+
+def bfs_levels(g: AdjacencyGraph, start: int) -> np.ndarray:
+    """BFS distance of every vertex from *start* (-1 where unreachable)."""
+    levels = np.full(g.n, -1, dtype=np.int64)
+    levels[start] = 0
+    frontier = [start]
+    depth = 0
+    while frontier:
+        depth += 1
+        nxt = []
+        for u in frontier:
+            for v in g.neighbors(u):
+                v = int(v)
+                if levels[v] < 0:
+                    levels[v] = depth
+                    nxt.append(v)
+        frontier = nxt
+    return levels
+
+
+def connected_components(g: AdjacencyGraph) -> np.ndarray:
+    """Component label per vertex (labels are 0..k-1, in discovery order)."""
+    comp = np.full(g.n, -1, dtype=np.int64)
+    label = 0
+    for s in range(g.n):
+        if comp[s] >= 0:
+            continue
+        comp[s] = label
+        stack = [s]
+        while stack:
+            u = stack.pop()
+            for v in g.neighbors(u):
+                v = int(v)
+                if comp[v] < 0:
+                    comp[v] = label
+                    stack.append(v)
+        label += 1
+    return comp
+
+
+def pseudo_peripheral_vertex(g: AdjacencyGraph, start: int = 0, max_iter: int = 10) -> int:
+    """George–Liu pseudo-peripheral vertex heuristic.
+
+    Repeatedly BFS from the current candidate and jump to a minimum-degree
+    vertex in the deepest level until the eccentricity stops growing.
+    Operates within the component of *start*.
+    """
+    u = start
+    levels = bfs_levels(g, u)
+    ecc = int(levels.max(initial=0))
+    for _ in range(max_iter):
+        reachable = levels >= 0
+        deepest = np.flatnonzero((levels == levels[reachable].max()) & reachable)
+        degs = g.degrees()[deepest]
+        cand = int(deepest[np.argmin(degs)])
+        cand_levels = bfs_levels(g, cand)
+        cand_ecc = int(cand_levels[cand_levels >= 0].max(initial=0))
+        if cand_ecc <= ecc:
+            break
+        u, levels, ecc = cand, cand_levels, cand_ecc
+    return u

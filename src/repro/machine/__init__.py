@@ -1,0 +1,27 @@
+"""Machine models for the simulated massively parallel computer.
+
+The SC09 evaluation ran on Blue Gene/P and a POWER5+ cluster. Neither is
+available here, so timing comes from parameterized α-β-γ models
+(:class:`MachineModel`): per-core flop rate, memory bandwidth, network
+latency/bandwidth with a topology hop penalty, and an SMP
+threads-per-process efficiency curve. The presets in
+:mod:`repro.machine.presets` are order-of-magnitude calibrations of the two
+paper machines — strong-scaling *shape* is the reproduction target, not
+absolute seconds (see DESIGN.md).
+"""
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import Topology, FlatTopology, Torus3D, FatTree
+from repro.machine.presets import BLUEGENE_P, POWER5_CLUSTER, GENERIC_CLUSTER, get_machine
+
+__all__ = [
+    "MachineModel",
+    "Topology",
+    "FlatTopology",
+    "Torus3D",
+    "FatTree",
+    "BLUEGENE_P",
+    "POWER5_CLUSTER",
+    "GENERIC_CLUSTER",
+    "get_machine",
+]

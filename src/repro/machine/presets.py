@@ -1,0 +1,79 @@
+"""Machine presets.
+
+Order-of-magnitude calibrations of the paper's two platforms (circa 2009)
+plus a generic modern-ish cluster. Absolute values matter less than the
+*ratios* (flops vs bandwidth vs latency), which set where scaling rolls
+off.
+
+Blue Gene/P: 850 MHz PPC450, 4 cores/node, 3.4 Gflop/s peak per core
+(2 FPUs × 2 flop), ~13.6 GB/s memory per node, 3D torus with ~0.5 µs
+neighbour latency and 425 MB/s per link direction.
+
+POWER5+ cluster: 1.9 GHz POWER5+, ~7.6 Gflop/s per core, 16-way SMP nodes,
+HPS interconnect: ~5 µs latency, ~2 GB/s per link, fat-tree.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+from repro.machine.topology import FatTree, FlatTopology, Torus3D
+from repro.util.errors import ShapeError
+
+BLUEGENE_P = MachineModel(
+    name="bluegene-p",
+    flop_rate=3.4e9,
+    dense_efficiency=0.75,
+    small_kernel_efficiency=0.08,
+    kernel_crossover=96,
+    mem_bandwidth=3.4e9,  # per core share of node bandwidth
+    alpha=3.0e-6,
+    alpha_hop=0.1e-6,
+    beta=1.0 / 425e6,
+    topology=Torus3D(),
+    max_threads_per_rank=4,
+    smp_efficiency_slope=0.05,
+)
+
+POWER5_CLUSTER = MachineModel(
+    name="power5-cluster",
+    flop_rate=7.6e9,
+    dense_efficiency=0.85,
+    small_kernel_efficiency=0.10,
+    kernel_crossover=128,
+    mem_bandwidth=6.0e9,
+    alpha=5.0e-6,
+    alpha_hop=0.5e-6,
+    beta=1.0 / 2.0e9,
+    topology=FatTree(radix=16),
+    max_threads_per_rank=16,
+    smp_efficiency_slope=0.04,
+)
+
+GENERIC_CLUSTER = MachineModel(
+    name="generic-cluster",
+    flop_rate=10.0e9,
+    dense_efficiency=0.80,
+    small_kernel_efficiency=0.10,
+    kernel_crossover=128,
+    mem_bandwidth=8.0e9,
+    alpha=2.0e-6,
+    alpha_hop=0.0,
+    beta=1.0 / 5.0e9,
+    topology=FlatTopology(),
+    max_threads_per_rank=8,
+    smp_efficiency_slope=0.03,
+)
+
+_MACHINES = {
+    m.name: m for m in (BLUEGENE_P, POWER5_CLUSTER, GENERIC_CLUSTER)
+}
+
+
+def get_machine(name: str) -> MachineModel:
+    """Look up a machine preset by name."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise ShapeError(
+            f"unknown machine {name!r}; known: {sorted(_MACHINES)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""Network topologies: hop counts between ranks.
+
+The message-time model charges a per-hop latency increment on top of the
+base latency, so topology only has to answer "how many hops from rank a to
+rank b". Ranks map onto the topology in the natural order (which is also
+how the subtree-to-subcube mapping hands out contiguous rank ranges — the
+same locality argument the paper makes for subcube mappings on torus
+networks).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Topology(ABC):
+    """Hop-count oracle for a machine of ``p`` ranks."""
+
+    @abstractmethod
+    def hops(self, a: int, b: int, p: int) -> int:
+        """Network hops between ranks *a* and *b* on a *p*-rank machine."""
+
+
+class FlatTopology(Topology):
+    """Uniform network: every pair is one hop (crossbar / ideal switch)."""
+
+    def hops(self, a: int, b: int, p: int) -> int:
+        return 0 if a == b else 1
+
+
+class Torus3D(Topology):
+    """3D torus (Blue Gene-style): ranks folded into a near-cubic
+    ``x × y × z`` box, hop count = wraparound Manhattan distance."""
+
+    @staticmethod
+    def _dims(p: int) -> tuple[int, int, int]:
+        x = max(1, round(p ** (1.0 / 3.0)))
+        while p % x:
+            x -= 1
+        rest = p // x
+        y = max(1, int(math.isqrt(rest)))
+        while rest % y:
+            y -= 1
+        z = rest // y
+        return x, y, z
+
+    @staticmethod
+    def _coords(r: int, dims: tuple[int, int, int]) -> tuple[int, int, int]:
+        x, y, _ = dims
+        return r % x, (r // x) % y, r // (x * y)
+
+    def hops(self, a: int, b: int, p: int) -> int:
+        if a == b:
+            return 0
+        dims = self._dims(p)
+        ca = self._coords(a, dims)
+        cb = self._coords(b, dims)
+        total = 0
+        for d, (ia, ib) in zip(dims, zip(ca, cb)):
+            delta = abs(ia - ib)
+            total += min(delta, d - delta)
+        return max(total, 1)
+
+
+class FatTree(Topology):
+    """Fat tree (cluster-style): hops = 2 · levels to the common ancestor
+    with *radix*-way switches."""
+
+    def __init__(self, radix: int = 16):
+        if radix < 2:
+            raise ValueError("radix must be >= 2")
+        self.radix = radix
+
+    def hops(self, a: int, b: int, p: int) -> int:
+        if a == b:
+            return 0
+        level = 1
+        span = self.radix
+        while a // span != b // span:
+            span *= self.radix
+            level += 1
+        return 2 * level

@@ -1,0 +1,45 @@
+"""Factorization statistics: flops, memory high-water marks, front shapes.
+
+The sequential engine fills one of these per factorization; benchmarks F6
+(memory scaling) and F2 (efficiency breakdown) consume the same fields from
+the parallel engine's per-rank accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class FactorStats:
+    """Aggregate statistics of one numeric factorization."""
+
+    #: flops actually performed (dense convention of repro.symbolic)
+    flops: int = 0
+    #: entries stored in factor blocks
+    factor_entries: int = 0
+    #: peak simultaneous update-stack entries
+    peak_stack_entries: int = 0
+    #: peak front order seen
+    max_front_order: int = 0
+    #: number of fronts processed
+    n_fronts: int = 0
+    #: per-front orders (for histograms)
+    front_orders: list[int] = field(default_factory=list)
+    #: out-of-core mode: update-matrix entries spilled / reloaded
+    spill_entries_written: int = 0
+    spill_entries_read: int = 0
+
+    def observe_front(self, order: int, width: int, flops: int) -> None:
+        self.n_fronts += 1
+        self.front_orders.append(order)
+        self.max_front_order = max(self.max_front_order, order)
+        self.flops += flops
+
+    @property
+    def mean_front_order(self) -> float:
+        if not self.front_orders:
+            return 0.0
+        return float(np.mean(self.front_orders))

@@ -1,0 +1,34 @@
+"""The extend-add operation.
+
+Adds a child's update (Schur complement) matrix into its parent's front,
+matching child update rows to their positions in the parent's row
+structure. Both matrices follow the lower-triangle-meaningful convention;
+because both index lists are sorted, lower-triangle entries map to
+lower-triangle entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mf.frontal import front_local_indices
+
+
+def extend_add(
+    parent_front: np.ndarray,
+    parent_rows: np.ndarray,
+    update: np.ndarray,
+    update_rows: np.ndarray,
+) -> None:
+    """``parent_front[ix, ix] += tril(update)`` where ``ix`` locates
+    *update_rows* within *parent_rows*. In place."""
+    if update.shape[0] != update_rows.size:
+        raise ValueError(
+            f"update order {update.shape[0]} != len(update_rows) {update_rows.size}"
+        )
+    if update_rows.size == 0:
+        return
+    ix = front_local_indices(parent_rows, update_rows)
+    # Only the lower triangle of the update is meaningful; adding tril keeps
+    # the parent's (meaningless) upper triangle clean of NaN-like garbage.
+    parent_front[np.ix_(ix, ix)] += np.tril(update)

@@ -1,0 +1,70 @@
+"""Frontal-matrix assembly.
+
+A supernode's front is a dense symmetric matrix of order
+``len(sn_rows[s])`` whose leading ``width`` columns correspond to the
+supernode's own columns; only the lower triangle is meaningful. Assembly
+scatters the supernode's columns of the permuted input matrix into the
+front; children's update matrices are added by
+:func:`repro.mf.extend_add.extend_add`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.util.errors import ShapeError
+
+
+def front_local_indices(front_rows: np.ndarray, global_rows: np.ndarray) -> np.ndarray:
+    """Positions of *global_rows* inside the sorted *front_rows*.
+
+    Every global row must be present; raises otherwise (that would be a
+    symbolic-analysis bug, not a user error — but fail loudly either way).
+    """
+    pos = np.searchsorted(front_rows, global_rows)
+    if np.any(pos >= front_rows.size) or np.any(
+        front_rows[np.minimum(pos, front_rows.size - 1)] != global_rows
+    ):
+        missing = global_rows[
+            (pos >= front_rows.size)
+            | (front_rows[np.minimum(pos, front_rows.size - 1)] != global_rows)
+        ]
+        raise ShapeError(f"rows {missing[:5]} not present in front structure")
+    return pos
+
+
+def assemble_front(
+    permuted_lower: CSCMatrix,
+    rows: np.ndarray,
+    first_col: int,
+    width: int,
+) -> np.ndarray:
+    """Allocate and fill the front of a supernode from the input matrix.
+
+    Parameters
+    ----------
+    permuted_lower
+        Lower triangle of the permuted matrix (the ``permuted_lower`` of a
+        SymbolicFactor).
+    rows
+        The supernode's sorted global row structure (``sn_rows[s]``);
+        its first *width* entries are the supernode's own columns.
+    first_col
+        Global index of the supernode's first column.
+    width
+        Number of pivot columns.
+
+    Returns the m×m front with A's entries scattered into the leading
+    *width* columns of its lower triangle and zeros elsewhere.
+    """
+    m = rows.size
+    front = np.zeros((m, m))
+    for k in range(width):
+        j = first_col + k
+        a_rows, a_vals = permuted_lower.col(j)
+        keep = a_rows >= j
+        a_rows, a_vals = a_rows[keep], a_vals[keep]
+        local = front_local_indices(rows, a_rows)
+        front[local, k] = a_vals
+    return front

@@ -1,0 +1,177 @@
+"""Sequential multifrontal numeric factorization.
+
+Walks the assembly tree in postorder (supernodes are numbered postorder by
+construction), maintaining an update stack keyed by child supernode. For
+each supernode: assemble the front from A, extend-add the children's
+updates, partially factor, store the factor panel, push the Schur
+complement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dense.partial_factor import partial_cholesky, partial_ldlt
+from repro.mf.accounting import FactorStats
+from repro.mf.extend_add import extend_add
+from repro.mf.frontal import assemble_front
+from repro.symbolic.analyze import SymbolicFactor, dense_partial_factor_flops
+from repro.util.errors import ShapeError
+
+
+@dataclass
+class NumericFactor:
+    """The computed factor.
+
+    ``blocks[s]`` is the m×w panel [L11; L21] of supernode s (for LDLᵀ,
+    unit-lower L11 with D on its diagonal and L21 already D-scaled).
+    ``diag`` holds the LDLᵀ pivots (None for Cholesky).
+    """
+
+    sym: SymbolicFactor
+    method: str
+    blocks: list[np.ndarray]
+    diag: np.ndarray | None
+    stats: FactorStats = field(default_factory=FactorStats)
+    #: permuted-order columns whose LDLᵀ pivots were statically perturbed
+    perturbed_columns: tuple[int, ...] = ()
+
+    @property
+    def n(self) -> int:
+        return self.sym.n
+
+    def to_dense_l(self) -> np.ndarray:
+        """Materialize L as a dense lower-triangular matrix (tests and
+        diagnostics only). For LDLᵀ this is the unit-lower L."""
+        n = self.sym.n
+        l = np.zeros((n, n))
+        for s in range(self.sym.n_supernodes):
+            rows = self.sym.sn_rows[s]
+            w = self.sym.supernode_width(s)
+            c0 = int(self.sym.partition.sn_start[s])
+            block = self.blocks[s]
+            for k in range(w):
+                col = c0 + k
+                vals = block[k:, k].copy()
+                l[rows[k:], col] = vals
+            if self.method == "ldlt":
+                l[np.arange(c0, c0 + w), np.arange(c0, c0 + w)] = 1.0
+        return l
+
+
+def multifrontal_factor(
+    sym: SymbolicFactor,
+    method: str = "cholesky",
+    pivot_perturbation: float | None = None,
+    memory_limit_entries: int | None = None,
+) -> NumericFactor:
+    """Numeric factorization of the matrix held in *sym*.
+
+    Parameters
+    ----------
+    method
+        ``"cholesky"`` (SPD) or ``"ldlt"`` (symmetric strongly regular).
+    pivot_perturbation
+        LDLᵀ only: static-pivoting threshold relative to the matrix
+        diagonal scale (``max |A_ii|``). ``None`` = raise on zero pivots; a
+        positive value replaces tiny pivots and records their columns for
+        the caller to trigger iterative refinement.
+    memory_limit_entries
+        Out-of-core mode: cap the *in-core* transient storage (current
+        front plus resident update stack) at this many entries. Update
+        matrices beyond the cap are "spilled" — the I/O volume is recorded
+        in ``stats.spill_entries_written/read``, the classic out-of-core
+        multifrontal accounting. Raises :class:`ShapeError` when a single
+        front alone exceeds the cap (no schedule can fit).
+    """
+    if method not in ("cholesky", "ldlt"):
+        raise ShapeError(f"unknown factorization method {method!r}")
+    if pivot_perturbation is not None and method != "ldlt":
+        raise ShapeError("pivot_perturbation applies to method='ldlt' only")
+    a = sym.permuted_lower
+    perturb_abs = None
+    if pivot_perturbation is not None:
+        diag_scale = float(np.max(np.abs(a.diagonal()), initial=0.0))
+        perturb_abs = pivot_perturbation * max(diag_scale, 1.0)
+    nsn = sym.n_supernodes
+    blocks: list[np.ndarray] = [None] * nsn  # type: ignore[list-item]
+    diag = np.empty(sym.n) if method == "ldlt" else None
+    stats = FactorStats()
+    perturbed: list[int] = []
+
+    updates: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    #: supernodes whose updates are currently "on disk" (out-of-core mode)
+    spilled: set[int] = set()
+    stack_entries = 0
+
+    def enforce_memory_cap(front_entries: int) -> None:
+        """Spill resident updates (oldest first) until front + stack fit."""
+        nonlocal stack_entries
+        if memory_limit_entries is None:
+            return
+        if front_entries > memory_limit_entries:
+            raise ShapeError(
+                f"front of {front_entries} entries exceeds the "
+                f"{memory_limit_entries}-entry in-core limit"
+            )
+        for c in sorted(updates):
+            if front_entries + stack_entries <= memory_limit_entries:
+                break
+            if c in spilled:
+                continue
+            upd, _ = updates[c]
+            spilled.add(c)
+            stats.spill_entries_written += upd.size
+            stack_entries -= upd.size
+
+    for s in range(nsn):
+        rows = sym.sn_rows[s]
+        w = sym.supernode_width(s)
+        c0 = int(sym.partition.sn_start[s])
+        enforce_memory_cap(rows.size * rows.size)
+        front = assemble_front(a, rows, c0, w)
+        for c in sym.sn_children[s]:
+            upd, upd_rows = updates.pop(c)
+            if c in spilled:
+                spilled.discard(c)
+                stats.spill_entries_read += upd.size
+            else:
+                stack_entries -= upd.size
+            extend_add(front, rows, upd, upd_rows)
+        m = rows.size
+        if method == "cholesky":
+            partial_cholesky(front, w)
+        else:
+            d = partial_ldlt(
+                front,
+                w,
+                perturb=perturb_abs,
+                col_offset=c0,
+                perturbed=perturbed,
+            )
+            diag[c0: c0 + w] = d
+        blocks[s] = front[:, :w].copy()
+        stats.observe_front(m, w, dense_partial_factor_flops(m, w))
+        stats.factor_entries += m * w - w * (w - 1) // 2
+        if m > w:
+            update = front[w:, w:].copy()
+            updates[s] = (update, rows[w:])
+            stack_entries += update.size
+            stats.peak_stack_entries = max(stats.peak_stack_entries, stack_entries)
+            enforce_memory_cap(0)
+        del front
+
+    if updates:
+        raise AssertionError(
+            f"unconsumed update matrices for supernodes {sorted(updates)}"
+        )
+    return NumericFactor(
+        sym=sym,
+        method=method,
+        blocks=blocks,
+        diag=diag,
+        stats=stats,
+        perturbed_columns=tuple(perturbed),
+    )

@@ -1,0 +1,66 @@
+"""Iterative refinement.
+
+One step of refinement after a direct solve recovers the digits lost to
+rounding in the factorization — the standard accuracy safeguard sparse
+direct solvers ship (WSMP enables it by default for its iterative-refinement
+solve mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mf.numeric import NumericFactor
+from repro.mf.solve_phase import solve
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import sym_matvec_lower
+from repro.util.validation import as_float_array
+
+
+@dataclass(frozen=True)
+class RefinementResult:
+    """Outcome of iterative refinement."""
+
+    x: np.ndarray
+    #: relative residual history, one entry per iteration (incl. initial)
+    residual_history: tuple[float, ...]
+    iterations: int
+    converged: bool
+
+
+def iterative_refinement(
+    factor: NumericFactor,
+    original_lower: CSCMatrix,
+    b: np.ndarray,
+    max_iter: int = 5,
+    tol: float = 1e-14,
+) -> RefinementResult:
+    """Refine the direct solution of ``A x = b``.
+
+    Parameters
+    ----------
+    original_lower
+        Lower triangle of A in the *original* ordering (the matrix handed
+        to the analyze phase).
+    tol
+        Stop when the relative residual ‖b − Ax‖∞ / ‖b‖∞ drops below this.
+    """
+    b = as_float_array(b, "b")
+    norm_b = float(np.max(np.abs(b))) if b.size else 0.0
+    if norm_b == 0.0:
+        return RefinementResult(np.zeros_like(b), (0.0,), 0, True)
+
+    x = solve(factor, b)
+    history = []
+    for it in range(max_iter + 1):
+        r = b - sym_matvec_lower(original_lower, x)
+        rel = float(np.max(np.abs(r))) / norm_b
+        history.append(rel)
+        if rel <= tol:
+            return RefinementResult(x, tuple(history), it, True)
+        if it == max_iter:
+            break
+        x = x + solve(factor, r)
+    return RefinementResult(x, tuple(history), max_iter, False)

@@ -1,0 +1,85 @@
+"""Supernodal triangular solves.
+
+Given a :class:`~repro.mf.numeric.NumericFactor`, solve ``A x = b`` in the
+*original* ordering: permute the RHS, run the forward sweep over supernodes
+in ascending order, the diagonal scaling (LDLᵀ), the backward sweep in
+descending order, and un-permute.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dense.trsm import (
+    solve_lower_inplace,
+    solve_lower_transpose_inplace,
+    solve_unit_lower_inplace,
+    solve_unit_lower_transpose_inplace,
+)
+from repro.mf.numeric import NumericFactor
+from repro.sparse.permute import permute_vector, unpermute_vector
+from repro.util.errors import ShapeError
+from repro.util.validation import as_float_array
+
+
+def solve(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
+    """Solve ``A x = b`` for one right-hand side (original ordering)."""
+    b = as_float_array(b, "b")
+    n = factor.n
+    if b.shape != (n,):
+        raise ShapeError(f"b must have shape ({n},); got {b.shape}")
+    sym = factor.sym
+    y = permute_vector(b, sym.perm)
+
+    forward_sweep(factor, y)
+    if factor.method == "ldlt":
+        y /= factor.diag
+    backward_sweep(factor, y)
+    return unpermute_vector(y, sym.perm)
+
+
+def forward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
+    """In-place forward substitution ``y <- L^{-1} y`` in permuted order."""
+    sym = factor.sym
+    unit = factor.method == "ldlt"
+    for s in range(sym.n_supernodes):
+        rows = sym.sn_rows[s]
+        w = sym.supernode_width(s)
+        block = factor.blocks[s]
+        piv = y[rows[:w]]
+        if unit:
+            solve_unit_lower_inplace(block[:w, :], piv)
+        else:
+            solve_lower_inplace(block[:w, :], piv)
+        y[rows[:w]] = piv
+        if rows.size > w:
+            y[rows[w:]] -= block[w:, :] @ piv
+
+
+def backward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
+    """In-place backward substitution ``y <- L^{-T} y`` in permuted order."""
+    sym = factor.sym
+    unit = factor.method == "ldlt"
+    for s in range(sym.n_supernodes - 1, -1, -1):
+        rows = sym.sn_rows[s]
+        w = sym.supernode_width(s)
+        block = factor.blocks[s]
+        piv = y[rows[:w]].copy()
+        if rows.size > w:
+            piv -= block[w:, :].T @ y[rows[w:]]
+        if unit:
+            solve_unit_lower_transpose_inplace(block[:w, :], piv)
+        else:
+            solve_lower_transpose_inplace(block[:w, :], piv)
+        y[rows[:w]] = piv
+
+
+def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
+    """Solve for multiple right-hand sides (columns of *b*)."""
+    b = as_float_array(b, "b")
+    if b.ndim == 1:
+        return solve(factor, b)
+    out = np.empty_like(b)
+    for k in range(b.shape[1]):
+        out[:, k] = solve(factor, b[:, k])
+    return out

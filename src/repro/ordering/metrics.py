@@ -1,0 +1,68 @@
+"""Ordering-quality metrics: fill-in and factorization operation count.
+
+Benchmark T2 reports these numbers per (matrix, ordering) pair — the same
+comparison the paper family uses to justify nested dissection for parallel
+factorization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.permute import permute_symmetric_lower
+from repro.symbolic.etree import etree
+from repro.symbolic.postorder import postorder, relabel_parent
+from repro.symbolic.symbolic_chol import symbolic_cholesky
+from repro.symbolic.colcounts import factor_flops_from_counts
+
+
+@dataclass(frozen=True)
+class OrderingQuality:
+    """Quality figures of one ordering on one matrix."""
+
+    n: int
+    nnz_a: int
+    #: nnz(L), diagonal included
+    nnz_factor: int
+    #: fill ratio nnz(L) / nnz(tril(A))
+    fill_ratio: float
+    #: factor operation count
+    factor_flops: int
+    #: height of the elimination tree (parallelism proxy: shorter is better)
+    etree_height: int
+
+
+def ordering_quality(lower: CSCMatrix, perm: np.ndarray) -> OrderingQuality:
+    """Evaluate *perm* on the symmetric matrix given by its lower triangle."""
+    a1 = permute_symmetric_lower(lower, np.asarray(perm, dtype=np.int64))
+    parent1 = etree(a1)
+    post = postorder(parent1)
+    parent = relabel_parent(parent1, post)
+    a2 = permute_symmetric_lower(lower, np.asarray(perm, dtype=np.int64)[post])
+    _, col_counts, nnz_factor = symbolic_cholesky(a2, parent)
+    height = _tree_height(parent)
+    return OrderingQuality(
+        n=lower.shape[0],
+        nnz_a=lower.nnz,
+        nnz_factor=nnz_factor,
+        fill_ratio=nnz_factor / max(lower.nnz, 1),
+        factor_flops=factor_flops_from_counts(col_counts),
+        etree_height=height,
+    )
+
+
+def _tree_height(parent: np.ndarray) -> int:
+    """Height (max root-to-leaf node count) of a postordered forest."""
+    n = parent.size
+    if n == 0:
+        return 0
+    depth = np.ones(n, dtype=np.int64)
+    # children have smaller indices: process ascending, push depth upward
+    for j in range(n):
+        p = int(parent[j])
+        if p >= 0:
+            depth[p] = max(depth[p], depth[j] + 1)
+    return int(depth.max())

@@ -1,0 +1,29 @@
+"""Trivial orderings: natural, reverse, random.
+
+Baselines for the T2 ordering-quality comparison and useful adversaries in
+tests (random orderings exercise the symbolic machinery far from the
+structured paths).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.structure import AdjacencyGraph
+from repro.util.rng import make_rng
+
+
+def natural_order(g: AdjacencyGraph) -> np.ndarray:
+    """Identity permutation — eliminate vertices in input order."""
+    return np.arange(g.n, dtype=np.int64)
+
+
+def reverse_order(g: AdjacencyGraph) -> np.ndarray:
+    """Reverse of the input order."""
+    return np.arange(g.n - 1, -1, -1, dtype=np.int64)
+
+
+def random_order(g: AdjacencyGraph, seed=None) -> np.ndarray:
+    """Uniformly random elimination order (deterministic by default seed)."""
+    rng = make_rng(seed)
+    return rng.permutation(g.n).astype(np.int64)

@@ -1,0 +1,31 @@
+"""Hybrid MPI × SMP execution model.
+
+WSMP's distinguishing deployment mode on SMP-node machines: fewer MPI ranks,
+each multithreaded. In the simulation a hybrid configuration is simply
+(n_ranks = cores / threads, threads_per_rank = threads): compute charges
+scale by the machine's SMP-efficiency curve while the message economy
+improves because fewer ranks exchange fewer, larger messages. Bench F4
+sweeps these configurations at fixed core count.
+"""
+
+from __future__ import annotations
+
+from repro.machine.model import MachineModel
+from repro.util.errors import ShapeError
+
+
+def hybrid_configurations(
+    total_cores: int, machine: MachineModel
+) -> list[tuple[int, int]]:
+    """All (n_ranks, threads_per_rank) splits of *total_cores* supported by
+    the machine (threads limited by ``max_threads_per_rank``), largest
+    rank-count first."""
+    if total_cores < 1:
+        raise ShapeError("total_cores must be >= 1")
+    out = []
+    t = 1
+    while t <= min(total_cores, machine.max_threads_per_rank):
+        if total_cores % t == 0:
+            out.append((total_cores // t, t))
+        t *= 2
+    return out

@@ -1,0 +1,329 @@
+"""Distributed triangular solves for the LU factor (blocked multi-RHS).
+
+Forward sweep with unit-lower L (fan-in of rhs update vectors up the
+assembly tree), backward sweep with upper U (fan-out of solution values).
+Row ownership follows the solve-ready layout of
+:mod:`repro.parallel.lu_par`: pivot row blocks hold their full factor row
+(L left of the diagonal block, packed LU on it, U right of it), update row
+blocks hold their L panel rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dense.trsm import solve_unit_lower_inplace
+from repro.parallel.lu_par import RankLUData
+from repro.parallel.plan import FactorPlan
+from repro.parallel.solve_par import _pack_down, _pack_up, solve_pairs
+from repro.simmpi.comm import Comm
+from repro.simmpi.ops import Compute, Recv, Send
+
+
+def _solve_upper_inplace(u: np.ndarray, b: np.ndarray) -> None:
+    """``b <- U^{-1} b`` with U the upper triangle (incl. diagonal)."""
+    n = u.shape[0]
+    for j in range(n - 1, -1, -1):
+        if j + 1 < n:
+            b[j] -= u[j, j + 1:] @ b[j + 1:]
+        b[j] /= u[j, j]
+
+
+def make_lu_solve_program(
+    plan: FactorPlan, datas: list[RankLUData], bp: np.ndarray
+):
+    """Rank program solving ``A x = b`` with the distributed LU factor.
+
+    *bp* may be ``(n,)`` or ``(n, k)`` — the sweeps run blocked over k
+    right-hand sides.
+    """
+
+    tail = bp.shape[1:]
+
+    def program(comm: Comm):
+        me = comm.world_rank
+        data = datas[me]
+        sym = plan.sym
+        my_sns = plan.supernodes_for_rank(me)
+
+        fwd_piv: dict[int, np.ndarray] = {}
+        fwd_useg: dict[int, dict[int, np.ndarray]] = {}
+        seq_u: dict[int, np.ndarray] = {}
+        dist_xpiv: dict[tuple[int, int], np.ndarray] = {}
+        x_piv: dict[int, np.ndarray] = {}
+        x_useg: dict[int, dict[int, np.ndarray]] = {}
+        seq_xupd: dict[int, np.ndarray] = {}
+
+        # ------------------------------------------------------- helpers --
+
+        def u_getter_for(s):
+            d = plan.dist[s]
+            if d.is_seq:
+                u = seq_u[s]
+
+                def g(i0, i1):
+                    return u[i0:i1]
+
+            else:
+                segs = fwd_useg[s]
+
+                def g(i0, i1, segs=segs, d=d):
+                    fa0 = i0 + d.width
+                    bi = int(d.block_of(np.asarray([fa0]))[0])
+                    r0 = int(d.starts[bi])
+                    return segs[bi][fa0 - r0: fa0 - r0 + (i1 - i0)]
+
+            return g
+
+        def x_getter_for(s):
+            d = plan.dist[s]
+            if d.is_seq:
+                xp = x_piv[s]
+                xu = seq_xupd[s]
+
+                def g(pa_idx, xp=xp, xu=xu, w=d.width):
+                    out = np.empty((pa_idx.size,) + tail)
+                    piv = pa_idx < w
+                    out[piv] = xp[pa_idx[piv]]
+                    out[~piv] = xu[pa_idx[~piv] - w]
+                    return out
+
+            else:
+                xp = x_piv[s]
+                xsegs = x_useg[s]
+
+                def g(pa_idx, xp=xp, xsegs=xsegs, d=d):
+                    out = np.empty((pa_idx.size,) + tail)
+                    piv = pa_idx < d.width
+                    out[piv] = xp[pa_idx[piv]]
+                    rest = pa_idx[~piv]
+                    if rest.size:
+                        bis = d.block_of(rest)
+                        vals = np.empty((rest.size,) + tail)
+                        for bi in np.unique(bis):
+                            sel = bis == bi
+                            r0 = int(d.starts[bi])
+                            vals[sel] = xsegs[int(bi)][rest[sel] - r0]
+                        out[~piv] = vals
+                    return out
+
+            return g
+
+        def recv_up(s, apply):
+            for c in sym.sn_children[s]:
+                pairs = solve_pairs(plan, c)
+                senders = sorted({src for src, dst in pairs if dst == me})
+                if me in senders:
+                    packed = _pack_up(plan, c, me, u_getter_for(c))
+                    if me in packed:
+                        apply(*packed[me])
+                for sender in senders:
+                    if sender == me:
+                        continue
+                    pa_idx, vals = yield Recv(sender, ("lsu", s, c))
+                    apply(pa_idx, vals)
+
+        def send_up(s):
+            parent = int(sym.sn_parent[s])
+            if parent < 0:
+                return
+            packed = _pack_up(plan, s, me, u_getter_for(s))
+            for dest in sorted(packed):
+                if dest == me:
+                    continue
+                pa_idx, vals = packed[dest]
+                yield Send(dest, ("lsu", parent, s), (pa_idx, vals),
+                           nbytes=12 * vals.size + 64)
+
+        def send_down(s):
+            for c in sym.sn_children[s]:
+                packed = _pack_down(plan, c, me, x_getter_for(s))
+                for dest in sorted(packed):
+                    if dest == me:
+                        continue
+                    idx, vals = packed[dest]
+                    yield Send(dest, ("lsd", s, c), (idx, vals),
+                               nbytes=12 * vals.size + 64)
+
+        def recv_down(s, apply):
+            parent = int(sym.sn_parent[s])
+            if parent < 0:
+                return
+            pairs = solve_pairs(plan, s)
+            senders = sorted({dst for src, dst in pairs if src == me})
+            if (me, me) in pairs:
+                packed = _pack_down(plan, s, me, x_getter_for(parent))
+                if me in packed:
+                    apply(*packed[me])
+            for sender in senders:
+                if sender == me:
+                    continue
+                idx, vals = yield Recv(sender, ("lsd", parent, s))
+                apply(idx, vals)
+
+        # ------------------------------------------------------- forward --
+
+        for s in my_sns:
+            d = plan.dist[s]
+            rows = sym.sn_rows[s]
+            if d.is_seq:
+                m, w = rows.size, d.width
+                f = np.zeros((m,) + tail)
+                f[:w] = bp[rows[:w]]
+
+                def apply(pa_idx, vals, f=f):
+                    np.add.at(f, pa_idx, vals)
+
+                yield from recv_up(s, apply)
+                lu11, l21, _u12 = data.seq_panels[s]
+                piv = f[:w]
+                solve_unit_lower_inplace(lu11, piv)
+                fwd_piv[s] = piv
+                yield Compute(flops=float(w * w + 2 * (m - w) * w), front_order=max(w, 8))
+                if m > w:
+                    seq_u[s] = f[w:] - l21 @ piv
+                    yield from send_up(s)
+            else:
+                g = len(d.group)
+                sub = Comm(me, d.group, ctx=("lslv", s))
+                rows_data = data.dist_rows.get(s, {})
+                my_blocks = [bi for bi in range(d.nblocks) if d.row_owner(bi) == me]
+                f: dict[int, np.ndarray] = {}
+                for bi in my_blocks:
+                    r0, r1 = d.block_range(bi)
+                    seg = np.zeros((r1 - r0,) + tail)
+                    if bi < d.npb:
+                        seg += bp[rows[r0:r1]]
+                    f[bi] = seg
+
+                def apply(pa_idx, vals, f=f, d=d):
+                    bis = d.block_of(pa_idx)
+                    for bi in np.unique(bis):
+                        sel = bis == bi
+                        r0 = int(d.starts[bi])
+                        np.add.at(f[int(bi)], pa_idx[sel] - r0, vals[sel])
+
+                yield from recv_up(s, apply)
+                x_full = np.zeros((d.width,) + tail)
+                fl = 0.0
+                for k in range(d.npb):
+                    r0, r1 = d.block_range(k)
+                    owner = d.row_owner(k)
+                    if owner == me:
+                        arr = rows_data[k]
+                        seg = f[k]
+                        if r0:
+                            seg = seg - arr[:, :r0] @ x_full[:r0]
+                        diag = arr[:, r0:r1]
+                        solve_unit_lower_inplace(diag, seg)
+                        fl += (r1 - r0) * (r0 + r1)
+                        payload = seg
+                    else:
+                        payload = None
+                    seg = yield from sub.bcast(payload, root=k % g)
+                    x_full[r0:r1] = seg
+                    if owner == me:
+                        f[k] = seg
+                if d.npb:
+                    yield Compute(flops=fl, front_order=plan.opts.nb)
+                fwd_piv[s] = x_full
+                for bi in my_blocks:
+                    if bi >= d.npb:
+                        f[bi] = f[bi] - rows_data[bi] @ x_full
+                fwd_useg[s] = {bi: f[bi] for bi in my_blocks}
+                if d.m > d.width:
+                    yield from send_up(s)
+
+        # ------------------------------------------------------ backward --
+
+        for s in reversed(my_sns):
+            d = plan.dist[s]
+            rows = sym.sn_rows[s]
+            if d.is_seq:
+                m, w = rows.size, d.width
+                lu11, _l21, u12 = data.seq_panels[s]
+                xu = np.zeros((m - w,) + tail)
+
+                def apply(upd_idx, vals, xu=xu):
+                    xu[upd_idx] = vals
+
+                yield from recv_down(s, apply)
+                rhs = fwd_piv[s].copy()
+                if m > w:
+                    rhs -= u12 @ xu
+                _solve_upper_inplace(lu11, rhs)
+                x_piv[s] = rhs
+                seq_xupd[s] = xu
+                yield Compute(flops=float(w * w + 2 * (m - w) * w), front_order=max(w, 8))
+                yield from send_down(s)
+            else:
+                g = len(d.group)
+                sub = Comm(me, d.group, ctx=("lslvb", s))
+                rows_data = data.dist_rows.get(s, {})
+                my_blocks = [bi for bi in range(d.nblocks) if d.row_owner(bi) == me]
+                mu = d.m - d.width
+                xseg: dict[int, np.ndarray] = {}
+                for bi in my_blocks:
+                    if bi >= d.npb:
+                        r0, r1 = d.block_range(bi)
+                        xseg[bi] = np.zeros((r1 - r0,) + tail)
+
+                def apply(upd_idx, vals, xseg=xseg, d=d):
+                    fa = upd_idx + d.width
+                    bis = d.block_of(fa)
+                    for bi in np.unique(bis):
+                        sel = bis == bi
+                        r0 = int(d.starts[bi])
+                        xseg[int(bi)][fa[sel] - r0] = vals[sel]
+
+                yield from recv_down(s, apply)
+                # Assemble the full update-row solution for the U12 products.
+                xu_full = np.zeros((mu,) + tail)
+                for bi, seg in xseg.items():
+                    r0, _ = d.block_range(bi)
+                    xu_full[r0 - d.width: r0 - d.width + seg.shape[0]] = seg
+                if g > 1 and mu:
+                    xu_full = yield from sub.allreduce(xu_full)
+                yvec = fwd_piv[s]
+                x_full = np.zeros((d.width,) + tail)
+                fl = 0.0
+                for k in range(d.npb - 1, -1, -1):
+                    r0, r1 = d.block_range(k)
+                    owner = d.row_owner(k)
+                    if owner == me:
+                        arr = rows_data[k]
+                        rhs = yvec[r0:r1].copy()
+                        if r1 < d.width:
+                            rhs -= arr[:, r1: d.width] @ x_full[r1:]
+                        if mu:
+                            rhs -= arr[:, d.width:] @ xu_full
+                        _solve_upper_inplace(arr[:, r0:r1], rhs)
+                        fl += (r1 - r0) * (d.m - r0)
+                        payload = rhs
+                    else:
+                        payload = None
+                    seg = yield from sub.bcast(payload, root=k % g)
+                    x_full[r0:r1] = seg
+                    if owner == me:
+                        dist_xpiv[(s, k)] = seg
+                if d.npb:
+                    yield Compute(flops=fl, front_order=plan.opts.nb)
+                x_piv[s] = x_full
+                x_useg[s] = xseg
+                yield from send_down(s)
+
+        # Owned solution pieces.
+        pieces: list[tuple[np.ndarray, np.ndarray]] = []
+        for s, xp in x_piv.items():
+            d = plan.dist[s]
+            rows = sym.sn_rows[s]
+            if d.is_seq:
+                pieces.append((rows[: d.width], xp))
+            else:
+                for bi in range(d.npb):
+                    if d.row_owner(bi) == me and (s, bi) in dist_xpiv:
+                        r0, r1 = d.block_range(bi)
+                        pieces.append((rows[r0:r1], dist_xpiv[(s, bi)]))
+        return pieces, 0.0
+
+    return program

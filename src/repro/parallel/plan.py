@@ -1,0 +1,261 @@
+"""The static factorization plan.
+
+Everything about *who does what* is a pure function of the symbolic
+factorization, the rank count, and the distribution policy — no numeric
+values involved. Real distributed solvers replicate exactly this data on
+every rank after the analysis phase; here the plan object is shared by all
+simulated ranks (read-only).
+
+Policies:
+
+* ``"2d"``     — subtree-to-subcube mapping with near-square 2D grids per
+  distributed front (the paper's formulation);
+* ``"1d"``     — same mapping, but fronts distributed 1D row-cyclic
+  (the MUMPS-like baseline: ablation F3 isolates exactly this switch);
+* ``"static"`` — no tree-aware mapping: every large front uses all ranks on
+  one static grid, small fronts are dealt round-robin to single ranks
+  (the SuperLU_DIST-like baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.grid2d import ProcessGrid, block_starts
+from repro.parallel.mapping import TreeMapping, map_supernodes_to_ranks, subtree_flops
+from repro.symbolic.analyze import SymbolicFactor
+from repro.util.errors import ShapeError
+
+POLICIES = ("2d", "1d", "static")
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Distribution knobs."""
+
+    #: dense block size of the block-cyclic layout
+    nb: int = 48
+    #: distribution policy (see module docstring)
+    policy: str = "2d"
+    #: supernodes narrower than this never get distributed
+    min_dist_width: int = 2
+    #: "static" policy: fronts smaller than this stay on a single rank
+    static_small_front: int = 96
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ShapeError(f"unknown policy {self.policy!r}; known: {POLICIES}")
+        if self.nb < 1:
+            raise ShapeError("nb must be >= 1")
+
+
+@dataclass
+class SupernodeDist:
+    """Distribution of one supernode."""
+
+    s: int
+    #: sorted global rank group
+    group: tuple[int, ...]
+    #: front order and pivot width
+    m: int
+    width: int
+    #: first global column
+    c0: int
+    #: None for sequential supernodes
+    grid: ProcessGrid | None = None
+    #: block boundaries (length nblocks+1); None for sequential
+    starts: np.ndarray | None = None
+    #: number of pivot block-columns
+    npb: int = 0
+
+    @property
+    def is_seq(self) -> bool:
+        return self.grid is None
+
+    @property
+    def nblocks(self) -> int:
+        return 0 if self.starts is None else self.starts.size - 1
+
+    def block_of(self, local_idx) -> np.ndarray:
+        """Block id(s) containing front-local row index/indices."""
+        return np.searchsorted(self.starts, local_idx, side="right") - 1
+
+    def block_range(self, b: int) -> tuple[int, int]:
+        return int(self.starts[b]), int(self.starts[b + 1])
+
+    def row_owner(self, bi: int) -> int:
+        """Rank owning row-block *bi* in the solve-ready layout."""
+        return self.group[bi % len(self.group)]
+
+
+class FactorPlan:
+    """Static plan consumed by the factor/solve rank programs."""
+
+    def __init__(
+        self,
+        sym: SymbolicFactor,
+        n_ranks: int,
+        options: PlanOptions | None = None,
+    ):
+        self.sym = sym
+        self.n_ranks = int(n_ranks)
+        self.opts = options or PlanOptions()
+        self.mapping = self._build_mapping()
+        self.dist: list[SupernodeDist] = [
+            self._build_dist(s) for s in range(sym.n_supernodes)
+        ]
+        self._parent_pos_cache: dict[int, np.ndarray] = {}
+        self._ea_runs_cache: dict[int, list[tuple[int, int, int, int]]] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def _build_mapping(self) -> TreeMapping:
+        sym, p, opts = self.sym, self.n_ranks, self.opts
+        if opts.policy in ("2d", "1d"):
+            return map_supernodes_to_ranks(
+                sym, p, min_distributed_width=opts.min_dist_width
+            )
+        # static: large fronts on everyone, small fronts dealt round-robin.
+        all_ranks = tuple(range(p))
+        sn_ranks: list[tuple[int, ...]] = []
+        for s in range(sym.n_supernodes):
+            m = sym.front_size(s)
+            w = sym.supernode_width(s)
+            if p > 1 and m >= opts.static_small_front and w >= opts.min_dist_width:
+                sn_ranks.append(all_ranks)
+            else:
+                sn_ranks.append((s % p,))
+        work = subtree_flops(sym)
+        own = np.asarray(
+            [sym.supernode_flops(s) for s in range(sym.n_supernodes)], dtype=float
+        )
+        return TreeMapping(
+            n_ranks=p, sn_ranks=sn_ranks, subtree_work=work, own_work=own
+        )
+
+    def _build_dist(self, s: int) -> SupernodeDist:
+        sym, opts = self.sym, self.opts
+        group = self.mapping.sn_ranks[s]
+        m = sym.front_size(s)
+        w = sym.supernode_width(s)
+        c0 = int(sym.partition.sn_start[s])
+        if len(group) == 1:
+            return SupernodeDist(s=s, group=group, m=m, width=w, c0=c0)
+        if opts.policy == "1d":
+            grid = ProcessGrid.one_d(group)
+        else:
+            grid = ProcessGrid.for_group(group)
+        starts = block_starts(m, w, opts.nb)
+        npb = int(np.searchsorted(starts, w, side="left"))
+        # `starts` aligns the pivot boundary, so starts[npb] == w.
+        assert starts[npb] == w
+        return SupernodeDist(
+            s=s, group=group, m=m, width=w, c0=c0, grid=grid, starts=starts, npb=npb
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def is_seq(self, s: int) -> bool:
+        return self.dist[s].is_seq
+
+    def supernodes_for_rank(self, rank: int) -> list[int]:
+        return self.mapping.supernodes_for_rank(rank)
+
+    def update_holders(self, s: int) -> tuple[int, ...]:
+        """Ranks that hold pieces of supernode *s*'s update matrix after it
+        is factored (senders of the extend-add into the parent)."""
+        d = self.dist[s]
+        if d.is_seq:
+            return d.group
+        # Owners of update-region blocks (bi, bj >= npb, bi >= bj).
+        owners = set()
+        for bi in range(d.npb, d.nblocks):
+            for bj in range(d.npb, bi + 1):
+                owners.add(d.grid.owner(bi, bj))
+        return tuple(sorted(owners))
+
+    def parent_positions(self, c: int) -> np.ndarray:
+        """Front-local positions in the parent of child *c*'s update rows."""
+        if c not in self._parent_pos_cache:
+            sym = self.sym
+            p = int(sym.sn_parent[c])
+            if p < 0:
+                raise ShapeError(f"supernode {c} has no parent")
+            wc = sym.supernode_width(c)
+            upd_rows = sym.sn_rows[c][wc:]
+            pos = np.searchsorted(sym.sn_rows[p], upd_rows)
+            self._parent_pos_cache[c] = pos
+        return self._parent_pos_cache[c]
+
+    def ea_runs(self, c: int) -> list[tuple[int, int, int, int]]:
+        """Runs of constant (child block, parent block) over child *c*'s
+        update indices: list of (i_start, i_end, child_block, parent_block).
+
+        child_block is -1 for a sequential child (single holder).
+        """
+        if c not in self._ea_runs_cache:
+            sym = self.sym
+            parent = int(sym.sn_parent[c])
+            wc = sym.supernode_width(c)
+            mu = sym.front_size(c) - wc
+            dc = self.dist[c]
+            dp = self.dist[parent]
+            pa = self.parent_positions(c)
+            if dc.is_seq:
+                cb = np.full(mu, -1, dtype=np.int64)
+            else:
+                cb = dc.block_of(np.arange(wc, wc + mu))
+            pb = dp.block_of(pa) if not dp.is_seq else np.full(mu, -1, dtype=np.int64)
+            runs: list[tuple[int, int, int, int]] = []
+            i = 0
+            while i < mu:
+                j = i + 1
+                while j < mu and cb[j] == cb[i] and pb[j] == pb[i]:
+                    j += 1
+                runs.append((i, j, int(cb[i]), int(pb[i])))
+                i = j
+            self._ea_runs_cache[c] = runs
+        return self._ea_runs_cache[c]
+
+    def ea_pairs(self, c: int) -> set[tuple[int, int]]:
+        """Exact nonempty (sender, dest) global-rank pairs of the
+        extend-add of child *c* into its parent."""
+        sym = self.sym
+        parent = int(sym.sn_parent[c])
+        dc = self.dist[c]
+        dp = self.dist[parent]
+        runs = self.ea_runs(c)
+        pairs: set[tuple[int, int]] = set()
+        for a in range(len(runs)):
+            _, _, cba, pba = runs[a]
+            for b in range(a + 1):
+                _, _, cbb, pbb = runs[b]
+                sender = dc.group[0] if dc.is_seq else dc.grid.owner(cba, cbb)
+                dest = dp.group[0] if dp.is_seq else dp.grid.owner(pba, pbb)
+                pairs.add((sender, dest))
+        return pairs
+
+    def ea_senders_to(self, c: int, dest: int) -> list[int]:
+        """Sorted senders with a nonempty transfer of child *c* to *dest*."""
+        return sorted({s for s, d in self.ea_pairs(c) if d == dest})
+
+    def ea_dests_from(self, c: int, sender: int) -> list[int]:
+        """Sorted destinations of child *c*'s data held by *sender*."""
+        return sorted({d for s, d in self.ea_pairs(c) if s == sender})
+
+    # -- reporting ---------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Summary numbers for reports and tests."""
+        n_dist = len(self.mapping.dist_supernodes)
+        return {
+            "n_ranks": self.n_ranks,
+            "policy": self.opts.policy,
+            "nb": self.opts.nb,
+            "n_supernodes": self.sym.n_supernodes,
+            "n_distributed": n_dist,
+            "n_sequential": self.sym.n_supernodes - n_dist,
+            "max_group": max((len(g) for g in self.mapping.sn_ranks), default=0),
+        }

@@ -1,0 +1,43 @@
+"""Deterministic simulated message passing.
+
+Rank programs are Python generator functions that ``yield`` communication
+and compute operations; the :class:`~repro.simmpi.scheduler.Simulator`
+executes all ranks as coroutines under a discrete-event clock, charging
+time from a :class:`~repro.machine.MachineModel`.
+
+The same code therefore *actually performs* the distributed algorithm on
+real numpy payloads (numerics are testable against the sequential engine),
+while the event clock provides per-rank timelines for machines far larger
+than the host — the substitution for the paper's Blue Gene/P (DESIGN.md).
+
+API sketch (mirrors mpi4py's lowercase object API, but cooperative)::
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.send(np.arange(4.0), dest=1, tag=7)
+        else:
+            data = yield comm.recv(source=0, tag=7)
+        total = yield from comm.allreduce(comm.rank)
+        return total
+
+    result = Simulator(machine, n_ranks=2).run(program)
+"""
+
+from repro.simmpi.message import payload_nbytes
+from repro.simmpi.ops import Send, Recv, Compute, Local
+from repro.simmpi.comm import Comm
+from repro.simmpi.scheduler import Simulator, SimResult, RankStats
+from repro.simmpi.ledger import MessageLedger
+
+__all__ = [
+    "payload_nbytes",
+    "Send",
+    "Recv",
+    "Compute",
+    "Local",
+    "Comm",
+    "Simulator",
+    "SimResult",
+    "RankStats",
+    "MessageLedger",
+]

@@ -1,0 +1,221 @@
+"""Communicators and collective operations.
+
+A :class:`Comm` is a per-rank handle naming a group of global ranks.
+Point-to-point methods build op descriptors to ``yield``; collectives are
+generator helpers used with ``yield from`` and are implemented with
+binomial trees over the group — so their simulated cost falls out of the
+point-to-point model, the same way mpi4py collectives decompose on real
+networks.
+
+All members of a group must call collectives in the same order (the usual
+MPI contract); tags are drawn from a per-communicator sequence so
+concurrent collectives on different communicators never collide.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.simmpi.ops import Recv, Send
+from repro.util.errors import SimulationError
+
+
+class Comm:
+    """Communicator handle held by one rank.
+
+    Parameters
+    ----------
+    world_rank
+        This rank's global id.
+    group
+        Sorted tuple of global ranks in the communicator.
+    ctx
+        Context id distinguishing this communicator from others (all
+        members must use the same value; ``Comm.split`` handles this).
+    """
+
+    __slots__ = ("world_rank", "group", "ctx", "_seq")
+
+    def __init__(self, world_rank: int, group: Sequence[int], ctx: Hashable = 0):
+        self.group = tuple(sorted(int(g) for g in group))
+        if len(set(self.group)) != len(self.group):
+            raise SimulationError(f"duplicate ranks in group {group}")
+        if world_rank not in self.group:
+            raise SimulationError(f"rank {world_rank} not in group {group}")
+        self.world_rank = int(world_rank)
+        self.ctx = ctx
+        self._seq = 0
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Rank within this communicator (0..size-1)."""
+        return self.group.index(self.world_rank)
+
+    @property
+    def size(self) -> int:
+        return len(self.group)
+
+    def global_rank(self, local: int) -> int:
+        """Global rank of a communicator-local rank."""
+        return self.group[local]
+
+    def sub(self, locals_: Sequence[int], ctx: Hashable) -> "Comm":
+        """Communicator over a subset of this group (by local indices).
+        Caller guarantees every member constructs the same subgroup/ctx."""
+        return Comm(self.world_rank, [self.group[i] for i in locals_], ctx)
+
+    # -- point to point -----------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: Hashable, nbytes: int | None = None) -> Send:
+        """Op descriptor: send to communicator-local rank *dest*."""
+        return Send(self.group[dest], ("p2p", self.ctx, tag), payload, nbytes)
+
+    def recv(self, source: int, tag: Hashable) -> Recv:
+        """Op descriptor: receive from communicator-local rank *source*."""
+        return Recv(self.group[source], ("p2p", self.ctx, tag))
+
+    # -- collectives ---------------------------------------------------------
+
+    def _tag(self, kind: str) -> Hashable:
+        tag = ("coll", self.ctx, self._seq, kind)
+        self._seq += 1
+        return tag
+
+    def bcast(self, payload: Any, root: int = 0):
+        """Binomial-tree broadcast; returns the payload on every rank."""
+        tag = self._tag("bcast")
+        me = (self.rank - root) % self.size
+        size = self.size
+        # Receive from the parent (the rank with this rank's lowest set bit
+        # cleared), unless we are the (virtual) root.
+        mask = 1
+        while mask < size:
+            if me & mask:
+                src = me ^ mask
+                payload = yield Recv(self.group[(src + root) % size], tag)
+                break
+            mask <<= 1
+        # Forward to children: all ranks me + m for m below our receive bit.
+        mask >>= 1
+        while mask >= 1:
+            dst = me + mask
+            if dst < size:
+                yield Send(self.group[(dst + root) % size], tag, payload)
+            mask >>= 1
+        return payload
+
+    def reduce(self, value: Any, op=None, root: int = 0):
+        """Binomial-tree reduction to *root*; returns the reduced value on
+        the root, ``None`` elsewhere. *op* defaults to ``+``."""
+        if op is None:
+            op = _add
+        tag = self._tag("reduce")
+        me = (self.rank - root) % self.size
+        size = self.size
+        acc = value
+        mask = 1
+        while mask < size:
+            if me & mask:
+                dst = me ^ mask
+                yield Send(self.group[(dst + root) % size], tag, acc)
+                return None
+            partner = me | mask
+            if partner < size:
+                other = yield Recv(self.group[(partner + root) % size], tag)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, value: Any, op=None):
+        """Reduce-then-broadcast allreduce."""
+        acc = yield from self.reduce(value, op=op, root=0)
+        acc = yield from self.bcast(acc, root=0)
+        return acc
+
+    def gather(self, value: Any, root: int = 0):
+        """Gather to *root*: returns list indexed by local rank on the
+        root, ``None`` elsewhere. Binomial fan-in of partial lists."""
+        tag = self._tag("gather")
+        me = (self.rank - root) % self.size
+        size = self.size
+        acc: dict[int, Any] = {self.rank: value}
+        mask = 1
+        while mask < size:
+            if me & mask:
+                dst = me ^ mask
+                yield Send(self.group[(dst + root) % size], tag, acc)
+                return None
+            partner = me | mask
+            if partner < size:
+                other = yield Recv(self.group[(partner + root) % size], tag)
+                acc.update(other)
+            mask <<= 1
+        return [acc[i] for i in range(size)]
+
+    def allgather(self, value: Any):
+        """Gather-then-broadcast allgather."""
+        lst = yield from self.gather(value, root=0)
+        lst = yield from self.bcast(lst, root=0)
+        return lst
+
+    def barrier(self):
+        """Synchronize the group (allreduce of a token)."""
+        yield from self.allreduce(0)
+
+    def sendrecv(self, payload: Any, dest: int, source: int, tag: Hashable):
+        """Simultaneous send to *dest* and receive from *source* (local
+        ranks). The eager-send runtime makes the naive send-then-recv order
+        deadlock-free."""
+        yield Send(self.group[dest], ("p2p", self.ctx, tag), payload)
+        got = yield Recv(self.group[source], ("p2p", self.ctx, tag))
+        return got
+
+    def alltoall(self, values: Sequence[Any]):
+        """Personalized all-to-all: ``values[j]`` goes to local rank j;
+        returns the list received (indexed by source). Pairwise-exchange
+        schedule (p-1 rounds), the standard algorithm for medium messages.
+        """
+        if len(values) != self.size:
+            raise SimulationError("alltoall needs one value per rank")
+        tag = self._tag("alltoall")
+        me = self.rank
+        size = self.size
+        out: list[Any] = [None] * size
+        out[me] = values[me]
+        power_of_two = size & (size - 1) == 0
+        for k in range(1, size):
+            if power_of_two:
+                partner = me ^ k  # symmetric pairwise exchange
+                yield Send(self.group[partner], (tag, me), values[partner])
+                out[partner] = yield Recv(self.group[partner], (tag, partner))
+            else:
+                dst = (me + k) % size
+                src = (me - k) % size
+                yield Send(self.group[dst], (tag, me), values[dst])
+                out[src] = yield Recv(self.group[src], (tag, src))
+        return out
+
+    def scatter(self, values: Sequence[Any] | None, root: int = 0):
+        """Scatter a per-rank list from *root*; returns this rank's item.
+
+        Linear sends from the root (fine at the group sizes collectives
+        are used for here; the hot paths use p2p directly).
+        """
+        tag = self._tag("scatter")
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise SimulationError(
+                    "scatter root must supply one value per rank"
+                )
+            for dst in range(self.size):
+                if dst != root:
+                    yield Send(self.group[dst], tag, values[dst])
+            return values[root]
+        item = yield Recv(self.group[root], tag)
+        return item
+
+
+def _add(a, b):
+    return a + b

@@ -1,0 +1,53 @@
+"""Message and work ledger: everything the analysis layer reports.
+
+The scheduler records every message (count, bytes, hops) and every compute
+charge here; benchmark F2's communication-fraction breakdown and the
+conservation checks in the test suite read these totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MessageLedger:
+    """Aggregate communication/computation record of one simulation."""
+
+    n_ranks: int
+    #: total point-to-point messages delivered
+    n_messages: int = 0
+    #: total payload bytes moved
+    total_bytes: int = 0
+    #: total hop-weighted bytes (network load proxy)
+    hop_bytes: int = 0
+    #: per-rank sent message counts
+    sent_by_rank: list[int] = field(default_factory=list)
+    #: per-rank sent bytes
+    bytes_sent_by_rank: list[int] = field(default_factory=list)
+    #: per-rank received message counts
+    recv_by_rank: list[int] = field(default_factory=list)
+    #: per-rank received bytes
+    bytes_recv_by_rank: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        z = [0] * self.n_ranks
+        self.sent_by_rank = list(z)
+        self.bytes_sent_by_rank = list(z)
+        self.recv_by_rank = list(z)
+        self.bytes_recv_by_rank = list(z)
+
+    def record_send(self, src: int, dst: int, nbytes: int, hops: int) -> None:
+        self.n_messages += 1
+        self.total_bytes += nbytes
+        self.hop_bytes += nbytes * max(hops, 0)
+        self.sent_by_rank[src] += 1
+        self.bytes_sent_by_rank[src] += nbytes
+
+    def record_recv(self, dst: int, nbytes: int) -> None:
+        self.recv_by_rank[dst] += 1
+        self.bytes_recv_by_rank[dst] += nbytes
+
+    @property
+    def mean_message_bytes(self) -> float:
+        return self.total_bytes / self.n_messages if self.n_messages else 0.0

@@ -1,0 +1,37 @@
+"""Message payload size accounting.
+
+The simulator charges bandwidth by payload size; this module estimates the
+wire size of the python objects rank programs exchange (numpy arrays
+dominate in practice).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: assumed per-object envelope overhead in bytes (headers, tags)
+ENVELOPE_BYTES = 64
+
+
+def payload_nbytes(payload) -> int:
+    """Estimated wire bytes of *payload* (numpy-aware, recursive)."""
+    return ENVELOPE_BYTES + _body_nbytes(payload)
+
+
+def _body_nbytes(obj) -> int:
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(obj, (bytes, bytearray)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(_body_nbytes(x) for x in obj)
+    if isinstance(obj, dict):
+        return sum(_body_nbytes(k) + _body_nbytes(v) for k, v in obj.items())
+    # Fallback: a conservative flat estimate for unknown objects.
+    return 64

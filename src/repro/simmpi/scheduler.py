@@ -1,0 +1,237 @@
+"""The discrete-event scheduler.
+
+Runs every rank program as a coroutine, advancing a per-rank clock:
+
+* :class:`~repro.simmpi.ops.Compute` advances the yielding rank only;
+* :class:`~repro.simmpi.ops.Send` charges the sender injection time
+  (α + bytes·β) and deposits the message with an arrival timestamp
+  (sender clock + hop latency) — an eager/buffered send;
+* :class:`~repro.simmpi.ops.Recv` blocks until a matching message exists,
+  then sets the receiver clock to ``max(receiver clock, arrival)``.
+
+Scheduling is deterministic: among runnable ranks, the one with the
+smallest ``(clock, rank)`` runs next, so results (including floating-point
+summation order) are reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.machine.model import MachineModel
+from repro.simmpi.comm import Comm
+from repro.simmpi.ledger import MessageLedger
+from repro.simmpi.message import payload_nbytes
+from repro.simmpi.ops import Compute, Local, Recv, Send
+from repro.simmpi.trace import Trace
+from repro.util.errors import SimulationError
+
+
+@dataclass
+class RankStats:
+    """Per-rank time breakdown."""
+
+    rank: int
+    #: final simulated clock of this rank
+    finish_time: float = 0.0
+    #: time spent in Compute charges
+    compute_time: float = 0.0
+    #: time spent injecting sends
+    send_time: float = 0.0
+    #: time spent blocked in receives (idle + wire wait)
+    wait_time: float = 0.0
+    n_yields: int = 0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation."""
+
+    #: wall-clock of the simulated machine (max over rank finish times)
+    makespan: float
+    #: per-rank return values of the programs
+    returns: list[Any]
+    rank_stats: list[RankStats]
+    ledger: MessageLedger
+    #: event timeline (None unless the simulator was built with trace=True)
+    trace: Trace | None = None
+
+    @property
+    def total_compute(self) -> float:
+        return sum(s.compute_time for s in self.rank_stats)
+
+    @property
+    def total_wait(self) -> float:
+        return sum(s.wait_time for s in self.rank_stats)
+
+    def parallel_efficiency(self, serial_time: float) -> float:
+        """Efficiency vs a given serial execution time."""
+        p = len(self.rank_stats)
+        if self.makespan <= 0 or p == 0:
+            return 1.0
+        return serial_time / (p * self.makespan)
+
+
+class Simulator:
+    """Deterministic DES over rank coroutines.
+
+    Parameters
+    ----------
+    machine
+        Cost model for compute and messages.
+    n_ranks
+        Number of simulated ranks.
+    threads_per_rank
+        SMP threads per rank (scales compute charges).
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        n_ranks: int,
+        threads_per_rank: int = 1,
+        trace: bool = False,
+    ):
+        if n_ranks < 1:
+            raise SimulationError("n_ranks must be >= 1")
+        self.machine = machine
+        self.n_ranks = int(n_ranks)
+        self.threads = int(threads_per_rank)
+        self.enable_trace = bool(trace)
+
+    def run(self, program: Callable, *args, **kwargs) -> SimResult:
+        """Execute ``program(comm, *args, **kwargs)`` on every rank.
+
+        *program* must be a generator function taking the communicator as
+        its first argument. Extra args are passed through; to give ranks
+        different inputs, close over a per-rank structure and index it by
+        ``comm.rank``.
+        """
+        machine = self.machine
+        p = self.n_ranks
+        gens = []
+        for r in range(p):
+            comm = Comm(r, range(p), ctx=("world",))
+            gen = program(comm, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise SimulationError(
+                    "program must be a generator function (did it 'yield'?)"
+                )
+            gens.append(gen)
+
+        clock = [0.0] * p
+        stats = [RankStats(r) for r in range(p)]
+        ledger = MessageLedger(p)
+        returns: list[Any] = [None] * p
+        done = [False] * p
+        # Mailboxes: (dst, src, tag) -> FIFO of (arrival_time, payload, nbytes)
+        mailbox: dict[tuple, list] = {}
+        # Blocked ranks: rank -> (src, tag)
+        blocked: dict[int, tuple] = {}
+        # Ready queue: (clock, rank); lazy entries, validity via `in_queue`.
+        ready: list[tuple[float, int]] = [(0.0, r) for r in range(p)]
+        heapq.heapify(ready)
+        resume_value: list[Any] = [None] * p
+        trace = Trace() if self.enable_trace else None
+
+        def deposit(src: int, op: Send) -> None:
+            nbytes = op.nbytes if op.nbytes is not None else payload_nbytes(op.payload)
+            dst = op.dest
+            if not (0 <= dst < p):
+                raise SimulationError(f"rank {src} sent to invalid rank {dst}")
+            hops = machine.topology.hops(src, dst, p) if src != dst else 0
+            inject = machine.alpha + nbytes * machine.beta if src != dst else machine.mem_time(nbytes)
+            if trace is not None:
+                trace.add(src, "send", clock[src], clock[src] + inject, nbytes)
+            clock[src] += inject
+            stats[src].send_time += inject
+            arrival = clock[src] + (hops * machine.alpha_hop if src != dst else 0.0)
+            key = (dst, src, op.tag)
+            mailbox.setdefault(key, []).append((arrival, op.payload, nbytes))
+            ledger.record_send(src, dst, nbytes, hops)
+            # Wake the receiver if it is blocked on this message.
+            if blocked.get(dst) == (src, op.tag):
+                del blocked[dst]
+                _complete_recv(dst, key)
+
+        def _complete_recv(r: int, key: tuple) -> None:
+            arrival, payload, nbytes = mailbox[key].pop(0)
+            if not mailbox[key]:
+                del mailbox[key]
+            wait = max(arrival - clock[r], 0.0)
+            if trace is not None and wait > 0:
+                trace.add(r, "wait", clock[r], arrival, nbytes)
+            stats[r].wait_time += wait
+            clock[r] = max(clock[r], arrival)
+            ledger.record_recv(r, nbytes)
+            resume_value[r] = payload
+            heapq.heappush(ready, (clock[r], r))
+
+        n_done = 0
+        while n_done < p:
+            if not ready:
+                waiting = {
+                    r: blocked[r] for r in sorted(blocked)
+                }
+                raise SimulationError(
+                    f"deadlock: {p - n_done} rank(s) blocked, none runnable; "
+                    f"blocked on {waiting}"
+                )
+            t, r = heapq.heappop(ready)
+            if done[r] or r in blocked or t < clock[r] - 1e-30:
+                continue  # stale entry
+            gen = gens[r]
+            value, resume_value[r] = resume_value[r], None
+            try:
+                op = gen.send(value)
+            except StopIteration as stop:
+                returns[r] = stop.value
+                done[r] = True
+                stats[r].finish_time = clock[r]
+                n_done += 1
+                continue
+            except Exception as exc:  # surface rank failures with context
+                raise SimulationError(f"rank {r} raised: {exc!r}") from exc
+            stats[r].n_yields += 1
+
+            if isinstance(op, Compute):
+                dt = 0.0
+                if op.flops:
+                    dt += machine.compute_time(
+                        op.flops, op.front_order, threads=max(op.threads, self.threads)
+                    )
+                if op.mem_bytes:
+                    dt += machine.mem_time(op.mem_bytes)
+                if trace is not None:
+                    trace.add(r, "compute", clock[r], clock[r] + dt, op.flops)
+                clock[r] += dt
+                stats[r].compute_time += dt
+                heapq.heappush(ready, (clock[r], r))
+            elif isinstance(op, Send):
+                deposit(r, op)
+                heapq.heappush(ready, (clock[r], r))
+            elif isinstance(op, Recv):
+                key = (r, op.source, op.tag)
+                if key in mailbox:
+                    _complete_recv(r, key)
+                else:
+                    blocked[r] = (op.source, op.tag)
+            elif isinstance(op, Local):
+                heapq.heappush(ready, (clock[r], r))
+            else:
+                raise SimulationError(
+                    f"rank {r} yielded unknown op {op!r}"
+                )
+
+        makespan = max(clock) if clock else 0.0
+        for s in stats:
+            s.finish_time = clock[s.rank]
+        return SimResult(
+            makespan=makespan,
+            returns=returns,
+            rank_stats=stats,
+            ledger=ledger,
+            trace=trace,
+        )

@@ -1,0 +1,52 @@
+"""Execution traces of simulated runs.
+
+When enabled on the :class:`~repro.simmpi.scheduler.Simulator`, every
+compute region, send injection, and receive wait is recorded as a
+``TraceEvent``. :mod:`repro.analysis.tracing` renders these as per-rank
+timelines and phase breakdowns (the data behind gantt-style figures in
+solver papers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+KINDS = ("compute", "send", "wait")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One interval on one rank's timeline."""
+
+    rank: int
+    kind: str  # "compute" | "send" | "wait"
+    start: float
+    end: float
+    #: free-form detail (bytes for sends, flops for computes)
+    detail: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """Ordered event log of one simulation."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, rank: int, kind: str, start: float, end: float, detail: float = 0.0) -> None:
+        if end > start:
+            self.events.append(TraceEvent(rank, kind, start, end, detail))
+
+    def for_rank(self, rank: int) -> list[TraceEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    def total(self, kind: str) -> float:
+        return sum(e.duration for e in self.events if e.kind == kind)
+
+    def span(self) -> float:
+        if not self.events:
+            return 0.0
+        return max(e.end for e in self.events)

@@ -1,0 +1,101 @@
+"""Compressed sparse column format.
+
+CSC is the factorization format: symbolic analysis and the multifrontal
+numeric phase walk columns of the lower triangle of A.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+from repro.util.validation import as_float_array, as_index_array, check_index_array
+
+
+class CSCMatrix:
+    """Sparse matrix in compressed sparse column format.
+
+    Invariants mirror :class:`repro.sparse.csr.CSRMatrix` with rows and
+    columns exchanged: ``indices[indptr[j]:indptr[j+1]]`` holds the strictly
+    increasing row indices of column ``j``.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape, indptr, indices, data, *, _skip_check: bool = False):
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.indptr = as_index_array(indptr, "indptr")
+        self.indices = as_index_array(indices, "indices")
+        self.data = as_float_array(data, "data")
+        if not _skip_check:
+            self._validate()
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if self.indptr.shape != (n_cols + 1,):
+            raise ShapeError(
+                f"indptr must have shape ({n_cols + 1},); got {self.indptr.shape}"
+            )
+        if self.indptr[0] != 0:
+            raise ShapeError("indptr[0] must be 0")
+        if np.any(np.diff(self.indptr) < 0):
+            raise ShapeError("indptr must be non-decreasing")
+        if self.indptr[-1] != self.indices.size:
+            raise ShapeError("indptr[-1] must equal len(indices)")
+        if self.indices.size != self.data.size:
+            raise ShapeError("indices and data must have equal length")
+        check_index_array(self.indices, n_rows, "indices")
+        for j in range(n_cols):
+            s, e = self.indptr[j], self.indptr[j + 1]
+            if e - s > 1 and np.any(np.diff(self.indices[s:e]) <= 0):
+                raise ShapeError(f"column {j} has unsorted or duplicate row indices")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def col(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Views of (row indices, values) of column *j*."""
+        s, e = self.indptr[j], self.indptr[j + 1]
+        return self.indices[s:e], self.data[s:e]
+
+    def col_degrees(self) -> np.ndarray:
+        """Number of stored entries per column."""
+        return np.diff(self.indptr)
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape)
+        for j in range(self.shape[1]):
+            rows, vals = self.col(j)
+            out[rows, j] = vals
+        return out
+
+    @classmethod
+    def from_dense(cls, dense) -> "CSCMatrix":
+        from repro.sparse.coo import COOMatrix
+        from repro.sparse.convert import coo_to_csc
+
+        return coo_to_csc(COOMatrix.from_dense(dense))
+
+    def copy(self) -> "CSCMatrix":
+        return CSCMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            _skip_check=True,
+        )
+
+    def diagonal(self) -> np.ndarray:
+        """Extract the main diagonal (zeros where no entry is stored)."""
+        n = min(self.shape)
+        d = np.zeros(n)
+        for j in range(n):
+            rows, vals = self.col(j)
+            pos = np.searchsorted(rows, j)
+            if pos < rows.size and rows[pos] == j:
+                d[j] = vals[pos]
+        return d
+
+    def __repr__(self) -> str:
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,102 @@
+"""Matrix Market I/O.
+
+Supports the ``matrix coordinate real {general,symmetric}`` and
+``matrix coordinate pattern {general,symmetric}`` headers, which cover the
+test-matrix collections this paper family draws from (SuiteSparse /
+UF collection exports). Pattern matrices get unit values.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.util.errors import ShapeError
+
+
+def read_matrix_market(path_or_file) -> tuple[COOMatrix, dict]:
+    """Read a Matrix Market coordinate file.
+
+    Returns ``(coo, info)`` where ``info`` carries the header fields
+    (``symmetry``, ``field``). Symmetric files are returned with *both*
+    triangles populated (expanded), matching the convention of the rest of
+    the library's "full matrix" consumers; use :func:`repro.sparse.ops.tril`
+    to get the factorization input.
+    """
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh = open(path_or_file, "r", encoding="ascii")
+        close = True
+    else:
+        fh = path_or_file
+    try:
+        header = fh.readline().strip().split()
+        if len(header) != 5 or header[0] != "%%MatrixMarket":
+            raise ShapeError(f"not a MatrixMarket file (header: {header})")
+        _, obj, fmt, field, symmetry = (tok.lower() for tok in header)
+        if obj != "matrix" or fmt != "coordinate":
+            raise ShapeError(f"unsupported MatrixMarket object/format {obj}/{fmt}")
+        if field not in ("real", "integer", "pattern"):
+            raise ShapeError(f"unsupported MatrixMarket field {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ShapeError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz)
+        for k in range(nnz):
+            parts = fh.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            vals[k] = 1.0 if field == "pattern" else float(parts[2])
+        if symmetry == "symmetric":
+            off = rows != cols
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, rows[: nnz][off]])
+            vals = np.concatenate([vals, vals[:nnz][off]])
+        coo = COOMatrix((n_rows, n_cols), rows, cols, vals)
+        return coo, {"symmetry": symmetry, "field": field}
+    finally:
+        if close:
+            fh.close()
+
+
+def write_matrix_market(path_or_file, coo: COOMatrix, symmetric: bool = False) -> None:
+    """Write *coo* in Matrix Market coordinate real format.
+
+    With ``symmetric=True`` only the lower triangle is emitted and the
+    header declares ``symmetric`` (entries above the diagonal are rejected).
+    """
+    m = coo.sum_duplicates()
+    if symmetric and np.any(m.row < m.col):
+        raise ShapeError("symmetric write requires a lower-triangular COO")
+    close = False
+    if isinstance(path_or_file, (str, Path)):
+        fh = open(path_or_file, "w", encoding="ascii")
+        close = True
+    else:
+        fh = path_or_file
+    try:
+        sym = "symmetric" if symmetric else "general"
+        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"{m.shape[0]} {m.shape[1]} {m.nnz}\n")
+        for r, c, v in zip(m.row.tolist(), m.col.tolist(), m.data.tolist()):
+            fh.write(f"{r + 1} {c + 1} {v:.17g}\n")
+    finally:
+        if close:
+            fh.close()
+
+
+def matrix_market_roundtrip(coo: COOMatrix) -> COOMatrix:
+    """Serialize then parse *coo* in-memory; used in tests."""
+    buf = io.StringIO()
+    write_matrix_market(buf, coo)
+    buf.seek(0)
+    out, _ = read_matrix_market(buf)
+    return out

@@ -1,0 +1,50 @@
+"""Symmetric equilibration (diagonal scaling).
+
+Pre-scaling ``A → D^{-1/2} A D^{-1/2}`` with ``D = diag(A)`` maps every
+diagonal entry to 1 and typically shrinks the condition number of badly
+scaled SPD systems by orders of magnitude — the standard cheap
+preprocessing direct solvers apply before factorization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.util.errors import ShapeError
+
+
+def symmetric_equilibrate(lower: CSCMatrix) -> tuple[CSCMatrix, np.ndarray]:
+    """Scale a symmetric matrix (lower storage) to unit diagonal.
+
+    Returns ``(scaled_lower, d)`` with ``scaled = D^{-1/2} A D^{-1/2}``,
+    ``d = diag(A)``. Solve the original system via
+    :func:`unscale_solution`. Requires a strictly positive diagonal.
+    """
+    n = lower.shape[0]
+    if lower.shape[0] != lower.shape[1]:
+        raise ShapeError("equilibration requires a square lower triangle")
+    d = lower.diagonal()
+    if np.any(d <= 0):
+        bad = int(np.argmin(d))
+        raise ShapeError(
+            f"non-positive diagonal entry {d[bad]:.3g} at index {bad}; "
+            "symmetric equilibration requires a positive diagonal"
+        )
+    s = 1.0 / np.sqrt(d)
+    col_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(lower.indptr))
+    new_data = lower.data * s[lower.indices] * s[col_of]
+    return (
+        CSCMatrix(lower.shape, lower.indptr, lower.indices, new_data, _skip_check=True),
+        d,
+    )
+
+
+def scale_rhs(b: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """RHS of the scaled system: ``b̂ = D^{-1/2} b``."""
+    return np.asarray(b) / np.sqrt(d)
+
+
+def unscale_solution(x_scaled: np.ndarray, d: np.ndarray) -> np.ndarray:
+    """Recover x of the original system: ``x = D^{-1/2} x̂``."""
+    return np.asarray(x_scaled) / np.sqrt(d)

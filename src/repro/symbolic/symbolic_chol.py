@@ -1,0 +1,71 @@
+"""Symbolic Cholesky: the nonzero pattern of L.
+
+Uses the multifrontal recurrence on a postordered matrix:
+
+    struct(L[:, j]) = {j} ∪ below-diag(A[:, j]) ∪ (⋃_{c : parent(c)=j} struct(L[:, c]) \\ {c})
+
+which is also exactly the row structure of each frontal matrix — so the
+numeric phase reuses these arrays as front indices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.postorder import children_lists, is_postordered
+from repro.util.errors import ShapeError
+
+
+def column_patterns(
+    lower: CSCMatrix, parent: np.ndarray
+) -> list[np.ndarray]:
+    """Per-column row pattern of L (including the diagonal), sorted.
+
+    Requires a postordered input (``parent[j] > j`` for non-roots); raises
+    otherwise. Returns ``patterns[j]`` = sorted int64 array starting at j.
+    """
+    n = lower.shape[0]
+    if parent.size != n:
+        raise ShapeError("parent array length must equal matrix dimension")
+    if not is_postordered(parent):
+        raise ShapeError("column_patterns requires a postordered matrix")
+    ch = children_lists(parent)
+    patterns: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    for j in range(n):
+        rows_a, _ = lower.col(j)
+        pieces = [rows_a[rows_a >= j]]
+        if not pieces[0].size or pieces[0][0] != j:
+            pieces.insert(0, np.array([j], dtype=np.int64))
+        for c in ch[j]:
+            pc = patterns[c]
+            pieces.append(pc[pc > j])
+        merged = np.unique(np.concatenate(pieces))
+        patterns[j] = merged
+    return patterns
+
+
+def symbolic_cholesky(
+    lower: CSCMatrix, parent: np.ndarray
+) -> tuple[list[np.ndarray], np.ndarray, int]:
+    """Full symbolic factorization.
+
+    Returns ``(patterns, col_counts, nnz_L)`` where ``col_counts[j]`` =
+    ``len(patterns[j])`` (diagonal included) and ``nnz_L`` is their sum.
+    """
+    patterns = column_patterns(lower, parent)
+    col_counts = np.asarray([p.size for p in patterns], dtype=np.int64)
+    return patterns, col_counts, int(col_counts.sum())
+
+
+def pattern_to_csc(patterns: list[np.ndarray], n: int) -> CSCMatrix:
+    """Materialize the symbolic pattern as a CSC matrix with unit values
+    (testing/diagnostics)."""
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum([p.size for p in patterns])
+    indices = (
+        np.concatenate(patterns) if patterns else np.empty(0, dtype=np.int64)
+    )
+    return CSCMatrix(
+        (n, n), indptr, indices, np.ones(indices.size), _skip_check=True
+    )

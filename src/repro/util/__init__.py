@@ -1,0 +1,41 @@
+"""Shared utilities: error types, validation helpers, RNG, timing, tables."""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    NotSymmetricError,
+    NotPositiveDefiniteError,
+    SingularMatrixError,
+    OrderingError,
+    SimulationError,
+)
+from repro.util.validation import (
+    check_index_array,
+    check_permutation,
+    check_square,
+    check_same_shape,
+    as_float_array,
+    as_index_array,
+)
+from repro.util.rng import make_rng
+from repro.util.timing import WallTimer
+from repro.util.tables import format_table
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "NotSymmetricError",
+    "NotPositiveDefiniteError",
+    "SingularMatrixError",
+    "OrderingError",
+    "SimulationError",
+    "check_index_array",
+    "check_permutation",
+    "check_square",
+    "check_same_shape",
+    "as_float_array",
+    "as_index_array",
+    "make_rng",
+    "WallTimer",
+    "format_table",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch one type to handle any library failure while letting
+programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array or matrix had an incompatible shape."""
+
+
+class NotSymmetricError(ReproError, ValueError):
+    """A matrix required to be structurally/numerically symmetric is not."""
+
+
+class NotPositiveDefiniteError(ReproError, ArithmeticError):
+    """Cholesky factorization encountered a non-positive pivot."""
+
+    def __init__(self, message: str, column: int | None = None):
+        super().__init__(message)
+        #: Global column index of the failing pivot, when known.
+        self.column = column
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """LDL^T factorization encountered an (effectively) zero pivot."""
+
+    def __init__(self, message: str, column: int | None = None):
+        super().__init__(message)
+        self.column = column
+
+
+class OrderingError(ReproError, ValueError):
+    """A fill-reducing ordering could not be computed or is invalid."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulated message-passing machine reached an invalid state
+    (deadlock, mismatched message, rank failure)."""

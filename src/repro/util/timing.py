@@ -1,0 +1,43 @@
+"""Small wall-clock timing helper for benches and examples.
+
+Simulated-machine time lives in :mod:`repro.simmpi`; this module is only for
+measuring real elapsed host time (e.g. how long the analysis phase of the
+actual Python code took).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallTimer:
+    """Context-manager stopwatch.
+
+    >>> with WallTimer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer was not started")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed

@@ -1,0 +1,75 @@
+"""Input-validation helpers used at public API boundaries.
+
+Internal hot paths skip these checks; constructors and public entry points
+call them so user mistakes fail fast with a clear message instead of
+corrupting a factorization halfway through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+
+#: Canonical integer dtype for index arrays throughout the library.
+INDEX_DTYPE = np.int64
+#: Canonical floating dtype for values throughout the library.
+VALUE_DTYPE = np.float64
+
+
+def as_index_array(a, name: str = "array") -> np.ndarray:
+    """Convert *a* to a contiguous int64 ndarray, validating integrality."""
+    arr = np.asarray(a)
+    if arr.dtype.kind == "f":
+        if not np.all(arr == np.floor(arr)):
+            raise ShapeError(f"{name} contains non-integer values")
+    return np.ascontiguousarray(arr, dtype=INDEX_DTYPE)
+
+
+def as_float_array(a, name: str = "array") -> np.ndarray:
+    """Convert *a* to a contiguous float64 ndarray, rejecting non-finite input."""
+    arr = np.ascontiguousarray(a, dtype=VALUE_DTYPE)
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ShapeError(f"{name} contains non-finite values")
+    return arr
+
+
+def check_index_array(idx: np.ndarray, upper: int, name: str = "index") -> None:
+    """Validate that every entry of *idx* lies in ``[0, upper)``."""
+    if idx.size == 0:
+        return
+    lo = int(idx.min())
+    hi = int(idx.max())
+    if lo < 0 or hi >= upper:
+        raise ShapeError(
+            f"{name} entries must lie in [0, {upper}); got range [{lo}, {hi}]"
+        )
+
+
+def check_permutation(perm: np.ndarray, n: int, name: str = "perm") -> np.ndarray:
+    """Validate that *perm* is a permutation of ``range(n)`` and return it
+    as an int64 array."""
+    p = as_index_array(perm, name)
+    if p.shape != (n,):
+        raise ShapeError(f"{name} must have shape ({n},); got {p.shape}")
+    seen = np.zeros(n, dtype=bool)
+    if n:
+        if p.min() < 0 or p.max() >= n:
+            raise ShapeError(f"{name} entries out of range [0, {n})")
+        seen[p] = True
+        if not seen.all():
+            raise ShapeError(f"{name} is not a permutation (duplicate entries)")
+    return p
+
+
+def check_square(shape: tuple[int, int], name: str = "matrix") -> int:
+    """Validate that *shape* is square and return its dimension."""
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ShapeError(f"{name} must be square; got shape {shape}")
+    return shape[0]
+
+
+def check_same_shape(a_shape, b_shape, name: str = "operands") -> None:
+    """Validate two shapes match exactly."""
+    if tuple(a_shape) != tuple(b_shape):
+        raise ShapeError(f"{name} shapes differ: {tuple(a_shape)} vs {tuple(b_shape)}")

@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, _parse_ranks, build_matrix, MESH_KINDS
+from repro.sparse.io_mm import write_matrix_market
+from repro.sparse.convert import csc_to_coo
+from repro.gen import grid2d_laplacian
+from repro.util.errors import ShapeError
+
+
+class TestParsing:
+    def test_parse_ranks(self):
+        assert _parse_ranks("1,2,8") == [1, 2, 8]
+
+    def test_parse_ranks_bad(self):
+        with pytest.raises(ShapeError):
+            _parse_ranks("1,x")
+        with pytest.raises(ShapeError):
+            _parse_ranks("0,2")
+        with pytest.raises(ShapeError):
+            _parse_ranks("")
+
+    def test_build_matrix_mesh(self):
+        class A:
+            matrix = None
+            mesh = "cube:3"
+
+        m = build_matrix(A())
+        assert m.shape == (27, 27)
+
+    def test_build_matrix_bad_spec(self):
+        class A:
+            matrix = None
+            mesh = "cube12"
+
+        with pytest.raises(ShapeError):
+            build_matrix(A())
+
+    def test_build_matrix_unknown_kind(self):
+        class A:
+            matrix = None
+            mesh = "torus:3"
+
+        with pytest.raises(ShapeError):
+            build_matrix(A())
+
+    def test_build_matrix_neither(self):
+        class A:
+            matrix = None
+            mesh = None
+
+        with pytest.raises(ShapeError):
+            build_matrix(A())
+
+    def test_all_mesh_kinds_build(self):
+        for kind in MESH_KINDS:
+            size = 16 if kind in ("random", "unstructured") else 3
+
+            class A:
+                matrix = None
+                mesh = f"{kind}:{size}"
+
+            m = build_matrix(A())
+            assert m.shape[0] >= 9
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--mesh", "cube:4"]) == 0
+        out = capsys.readouterr().out
+        assert "nnz(L)" in out and "supernodes" in out
+
+    def test_solve_ones(self, capsys):
+        assert main(["solve", "--mesh", "plate:6"]) == 0
+        assert "residual" in capsys.readouterr().out
+
+    def test_solve_random_with_condest(self, capsys):
+        rc = main(
+            ["solve", "--mesh", "plate:5", "--rhs", "random", "--condest"]
+        )
+        assert rc == 0
+        assert "condition estimate" in capsys.readouterr().out
+
+    def test_solve_no_refine(self, capsys):
+        assert main(["solve", "--mesh", "plate:5", "--no-refine"]) == 0
+
+    def test_solve_ldlt(self, capsys):
+        assert main(["solve", "--mesh", "cube:3", "--method", "ldlt"]) == 0
+
+    def test_scale(self, capsys):
+        rc = main(
+            ["scale", "--mesh", "cube:4", "--ranks", "1,2,4", "--nb", "8"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "strong scaling" in out and "Gflop/s" in out
+
+    def test_scale_policy_1d(self, capsys):
+        rc = main(
+            [
+                "scale",
+                "--mesh",
+                "plate:6",
+                "--ranks",
+                "1,2",
+                "--policy",
+                "1d",
+                "--machine",
+                "bluegene-p",
+            ]
+        )
+        assert rc == 0
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--mesh", "cube:4", "--ranks", "2,4", "--nb", "8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wsmp-like" in out and "mumps-like" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        assert "cube-s" in capsys.readouterr().out
+
+    def test_matrix_file(self, tmp_path, capsys):
+        lower = grid2d_laplacian(4)
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, csc_to_coo(lower), symmetric=True)
+        assert main(["info", "--matrix", str(path)]) == 0
+        assert main(["solve", "--matrix", str(path)]) == 0
+
+    def test_missing_file_error(self, capsys):
+        rc = main(["info", "--matrix", "/nonexistent.mtx"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_mesh_error(self, capsys):
+        rc = main(["info", "--mesh", "nope:3"])
+        assert rc == 2
+
+
+class TestLUCli:
+    def test_convdiff_auto_lu(self, capsys):
+        assert main(["solve", "--mesh", "convdiff:6"]) == 0
+        assert "solver=lu" in capsys.readouterr().out
+
+    def test_explicit_lu_flag(self, capsys):
+        assert main(["solve", "--mesh", "plate:5", "--lu"]) == 0
+        assert "solver=lu" in capsys.readouterr().out
+
+    def test_lu_no_refine(self, capsys):
+        assert main(["solve", "--mesh", "convdiff:5", "--no-refine"]) == 0

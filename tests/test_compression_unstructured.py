@@ -1,0 +1,151 @@
+"""Tests for graph compression ordering and the unstructured-mesh
+generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import SparseSolver
+from repro.gen import elasticity3d, grid2d_laplacian, unstructured2d
+from repro.graph import AdjacencyGraph, connected_components
+from repro.ordering import (
+    amd_order,
+    compressed_order,
+    compress_graph,
+    compression_ratio,
+    find_indistinguishable_groups,
+    nested_dissection_order,
+    ordering_quality,
+)
+from repro.sparse.ops import full_symmetric_from_lower
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng
+
+
+class TestIndistinguishableGroups:
+    def test_elasticity_compresses_3x(self):
+        lower = elasticity3d(3, seed=1)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        ratio = compression_ratio(g)
+        assert ratio == pytest.approx(3.0)
+
+    def test_scalar_mesh_does_not_compress(self):
+        g = AdjacencyGraph.from_symmetric_lower(grid2d_laplacian(5))
+        assert compression_ratio(g) == pytest.approx(1.0)
+
+    def test_groups_cover_all_vertices(self):
+        lower = elasticity3d(2, seed=0)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        compressed, label, members = compress_graph(g)
+        total = np.sort(np.concatenate(members))
+        np.testing.assert_array_equal(total, np.arange(g.n))
+        for s, grp in enumerate(members):
+            assert np.all(label[grp] == s)
+
+    def test_compressed_graph_structure(self):
+        # Two twin vertices (same closed neighbourhood) collapse.
+        g = AdjacencyGraph.from_edges(4, [0, 0, 1, 1, 0], [2, 3, 2, 3, 1])
+        # vertices 0 and 1: adj {1,2,3}|{0,..} closed: {0,1,2,3} both.
+        compressed, label, members = compress_graph(g)
+        assert label[0] == label[1]
+        assert compressed.n == 3
+
+
+class TestCompressedOrder:
+    def test_valid_permutation(self):
+        lower = elasticity3d(3, seed=2)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        perm = compressed_order(g, nested_dissection_order)
+        np.testing.assert_array_equal(np.sort(perm), np.arange(g.n))
+
+    def test_group_members_consecutive(self):
+        lower = elasticity3d(2, seed=3)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        label = find_indistinguishable_groups(g)
+        perm = compressed_order(g, amd_order)
+        # Scan the permutation: each group's members appear as a block.
+        seen = {}
+        for pos, v in enumerate(perm):
+            lab = int(label[v])
+            if lab in seen:
+                assert pos == seen[lab] + 1, f"group {lab} not consecutive"
+            seen[lab] = pos
+
+    def test_quality_comparable_to_direct(self):
+        lower = elasticity3d(4, seed=4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        q_direct = ordering_quality(lower, nested_dissection_order(g))
+        q_comp = ordering_quality(lower, compressed_order(g, nested_dissection_order))
+        assert q_comp.factor_flops <= q_direct.factor_flops * 1.3
+
+    def test_compression_speeds_up_ordering(self):
+        import time
+
+        lower = elasticity3d(5, seed=5)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        t0 = time.perf_counter()
+        nested_dissection_order(g)
+        direct = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        compressed_order(g, nested_dissection_order)
+        comp = time.perf_counter() - t0
+        assert comp < direct  # 3x smaller ordering graph
+
+    def test_fallback_when_incompressible(self):
+        g = AdjacencyGraph.from_symmetric_lower(grid2d_laplacian(4))
+        a = compressed_order(g, amd_order)
+        b = amd_order(g)
+        np.testing.assert_array_equal(a, b)
+
+    def test_end_to_end_solve(self):
+        lower = elasticity3d(3, seed=6)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        perm = compressed_order(g, nested_dissection_order)
+        solver = SparseSolver(lower, ordering=perm)
+        b = make_rng(1).standard_normal(lower.shape[0])
+        assert solver.solve(b).residual < 1e-10
+
+
+class TestUnstructured:
+    def test_spd_small(self):
+        lower = unstructured2d(60, seed=1)
+        full = full_symmetric_from_lower(lower).to_dense()
+        assert np.linalg.eigvalsh(full).min() > 0
+
+    def test_deterministic(self):
+        a = unstructured2d(50, seed=2).to_dense()
+        b = unstructured2d(50, seed=2).to_dense()
+        np.testing.assert_array_equal(a, b)
+
+    def test_mostly_connected(self):
+        lower = unstructured2d(300, seed=3)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        comp = connected_components(g)
+        counts = np.bincount(comp)
+        assert counts.max() > 0.9 * g.n
+
+    def test_bounded_degree(self):
+        lower = unstructured2d(400, seed=4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        assert g.degrees().max() < 40
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            unstructured2d(0)
+        with pytest.raises(ShapeError):
+            unstructured2d(10, radius_factor=0)
+
+    def test_solves(self):
+        lower = unstructured2d(200, seed=5)
+        solver = SparseSolver(lower)
+        b = make_rng(2).standard_normal(200)
+        assert solver.solve(b).residual < 1e-10
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 120), st.integers(0, 1000))
+    def test_property_spd_diag_dominant(self, n, seed):
+        lower = unstructured2d(n, seed=seed)
+        full = full_symmetric_from_lower(lower).to_dense()
+        # strictly diagonally dominant by construction
+        off = np.abs(full).sum(axis=1) - np.abs(np.diag(full))
+        assert np.all(np.diag(full) >= off + 0.99)

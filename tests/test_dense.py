@@ -1,0 +1,254 @@
+"""Tests for repro.dense kernels against numpy/scipy oracles."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.dense import (
+    cholesky,
+    cholesky_in_place,
+    ldlt,
+    ldlt_in_place,
+    solve_lower_inplace,
+    solve_lower_transpose_inplace,
+    solve_unit_lower_inplace,
+    syrk_lower_update,
+    partial_cholesky,
+    partial_ldlt,
+)
+from repro.dense.trsm import solve_unit_lower_transpose_inplace
+from repro.dense.syrk import syrk_lower_update_scaled
+from repro.util.errors import NotPositiveDefiniteError, ShapeError, SingularMatrixError
+
+
+def spd(rng, n, shift=None):
+    a = rng.standard_normal((n, n))
+    m = a @ a.T
+    m += (shift if shift is not None else n) * np.eye(n)
+    return m
+
+
+class TestCholesky:
+    @pytest.mark.parametrize("n", [1, 2, 5, 17, 64, 100])
+    def test_matches_numpy(self, rng, n):
+        a = spd(rng, n)
+        l = cholesky(a)
+        np.testing.assert_allclose(l, np.linalg.cholesky(a), rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("block", [1, 3, 8, 200])
+    def test_blocking_invariant(self, rng, block):
+        a = spd(rng, 30)
+        l = cholesky(a, block=block)
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-10, atol=1e-10)
+
+    def test_in_place_overwrites_lower(self, rng):
+        a = spd(rng, 10)
+        work = a.copy()
+        cholesky_in_place(work)
+        np.testing.assert_allclose(
+            np.tril(work), np.linalg.cholesky(a), rtol=1e-10, atol=1e-10
+        )
+
+    def test_not_pd_raises_with_column(self):
+        a = np.diag([1.0, -1.0, 2.0])
+        with pytest.raises(NotPositiveDefiniteError) as ei:
+            cholesky(a)
+        assert ei.value.column == 1
+
+    def test_not_pd_in_blocked_region(self, rng):
+        a = spd(rng, 80)
+        a[70, 70] = -1e6
+        with pytest.raises(NotPositiveDefiniteError) as ei:
+            cholesky(a, block=16)
+        assert ei.value.column is not None and ei.value.column >= 64
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError):
+            cholesky_in_place(np.ones((2, 3)))
+
+    def test_rejects_non_float64(self):
+        with pytest.raises(ShapeError):
+            cholesky_in_place(np.eye(3, dtype=np.float32))
+
+    def test_rejects_bad_block(self):
+        with pytest.raises(ShapeError):
+            cholesky_in_place(np.eye(3), block=0)
+
+    def test_empty_matrix(self):
+        a = np.zeros((0, 0))
+        cholesky_in_place(a)  # no-op
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 24), st.integers(0, 10_000))
+    def test_property_reconstruction(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = spd(rng, n)
+        l = cholesky(a)
+        np.testing.assert_allclose(l @ l.T, a, rtol=1e-9, atol=1e-9)
+        assert np.all(np.diag(l) > 0)
+
+
+class TestLDLT:
+    @pytest.mark.parametrize("n", [1, 2, 8, 30])
+    def test_reconstruction_spd(self, rng, n):
+        a = spd(rng, n)
+        l, d = ldlt(a)
+        np.testing.assert_allclose(l @ np.diag(d) @ l.T, a, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(np.diag(l), 1.0)
+
+    def test_indefinite_strongly_regular(self):
+        # Symmetric indefinite with non-zero leading minors.
+        a = np.array([[2.0, 1.0, 0.0], [1.0, -3.0, 1.0], [0.0, 1.0, 4.0]])
+        l, d = ldlt(a)
+        np.testing.assert_allclose(l @ np.diag(d) @ l.T, a, rtol=1e-10, atol=1e-12)
+        assert (d < 0).any()
+
+    def test_zero_pivot_raises(self):
+        a = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(SingularMatrixError) as ei:
+            ldlt(a)
+        assert ei.value.column == 0
+
+    def test_matches_scipy_ldl_spd(self, rng):
+        a = spd(rng, 12)
+        l, d = ldlt(a)
+        lu, ds, _ = scipy.linalg.ldl(a, lower=True)
+        # scipy may permute; for SPD diagonally dominant it should not.
+        np.testing.assert_allclose(l, lu, rtol=1e-8, atol=1e-8)
+        np.testing.assert_allclose(d, np.diag(ds), rtol=1e-8, atol=1e-8)
+
+    def test_in_place_returns_diag(self, rng):
+        a = spd(rng, 6)
+        work = a.copy()
+        d = ldlt_in_place(work)
+        np.testing.assert_allclose(np.diagonal(work), d)
+
+
+class TestTrsm:
+    @pytest.mark.parametrize("nrhs", [None, 1, 4])
+    def test_forward(self, rng, nrhs):
+        l = np.tril(rng.standard_normal((8, 8))) + 4 * np.eye(8)
+        b = rng.standard_normal(8) if nrhs is None else rng.standard_normal((8, nrhs))
+        x = b.copy()
+        solve_lower_inplace(l, x)
+        np.testing.assert_allclose(l @ x, b, rtol=1e-10, atol=1e-10)
+
+    @pytest.mark.parametrize("nrhs", [None, 3])
+    def test_backward_transpose(self, rng, nrhs):
+        l = np.tril(rng.standard_normal((8, 8))) + 4 * np.eye(8)
+        b = rng.standard_normal(8) if nrhs is None else rng.standard_normal((8, nrhs))
+        x = b.copy()
+        solve_lower_transpose_inplace(l, x)
+        np.testing.assert_allclose(l.T @ x, b, rtol=1e-10, atol=1e-10)
+
+    def test_unit_forward(self, rng):
+        l = np.tril(rng.standard_normal((7, 7)), -1) + np.eye(7)
+        b = rng.standard_normal(7)
+        x = b.copy()
+        solve_unit_lower_inplace(l, x)
+        np.testing.assert_allclose(l @ x, b, rtol=1e-10, atol=1e-10)
+
+    def test_unit_backward(self, rng):
+        l = np.tril(rng.standard_normal((7, 7)), -1) + np.eye(7)
+        b = rng.standard_normal(7)
+        x = b.copy()
+        solve_unit_lower_transpose_inplace(l, x)
+        np.testing.assert_allclose(l.T @ x, b, rtol=1e-10, atol=1e-10)
+
+    def test_unit_ignores_diagonal_values(self, rng):
+        l = np.tril(rng.standard_normal((5, 5)), -1)
+        l_garbage = l + np.diag(rng.standard_normal(5))
+        b = rng.standard_normal(5)
+        x1, x2 = b.copy(), b.copy()
+        solve_unit_lower_inplace(l + np.eye(5), x1)
+        solve_unit_lower_inplace(l_garbage, x2)
+        np.testing.assert_allclose(x1, x2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            solve_lower_inplace(np.eye(3), np.ones(4))
+        with pytest.raises(ShapeError):
+            solve_lower_inplace(np.ones((2, 3)), np.ones(2))
+
+
+class TestSyrk:
+    def test_update(self, rng):
+        c = rng.standard_normal((6, 6))
+        a = rng.standard_normal((6, 3))
+        expected = c - a @ a.T
+        syrk_lower_update(c, a)
+        np.testing.assert_allclose(c, expected)
+
+    def test_scaled_update(self, rng):
+        c = rng.standard_normal((5, 5))
+        a = rng.standard_normal((5, 2))
+        d = np.array([2.0, -3.0])
+        expected = c - a @ np.diag(d) @ a.T
+        syrk_lower_update_scaled(c, a, d)
+        np.testing.assert_allclose(c, expected)
+
+    def test_shape_checks(self):
+        with pytest.raises(ShapeError):
+            syrk_lower_update(np.ones((2, 3)), np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            syrk_lower_update(np.eye(3), np.ones((2, 2)))
+        with pytest.raises(ShapeError):
+            syrk_lower_update_scaled(np.eye(3), np.ones((3, 2)), np.ones(3))
+
+
+class TestPartialFactor:
+    @pytest.mark.parametrize("m,k", [(6, 2), (10, 10), (8, 0), (5, 1), (40, 13)])
+    def test_partial_cholesky_blocks(self, rng, m, k):
+        a = spd(rng, m)
+        front = a.copy()
+        partial_cholesky(front, k)
+        if k == 0:
+            np.testing.assert_allclose(front, a)
+            return
+        l_full = np.linalg.cholesky(a)
+        np.testing.assert_allclose(
+            np.tril(front[:k, :k]), l_full[:k, :k], rtol=1e-9, atol=1e-9
+        )
+        np.testing.assert_allclose(front[k:, :k], l_full[k:, :k], rtol=1e-9, atol=1e-9)
+        # Schur complement oracle
+        schur = a[k:, k:] - l_full[k:, :k] @ l_full[k:, :k].T
+        np.testing.assert_allclose(
+            np.tril(front[k:, k:]), np.tril(schur), rtol=1e-8, atol=1e-8
+        )
+
+    def test_partial_cholesky_out_of_range(self, rng):
+        with pytest.raises(ShapeError):
+            partial_cholesky(spd(rng, 4), 5)
+
+    @pytest.mark.parametrize("m,k", [(6, 2), (9, 9), (7, 3)])
+    def test_partial_ldlt_blocks(self, rng, m, k):
+        a = spd(rng, m)
+        front = a.copy()
+        d = partial_ldlt(front, k)
+        l11 = np.tril(front[:k, :k], -1) + np.eye(k)
+        np.testing.assert_allclose(
+            l11 @ np.diag(d) @ l11.T, a[:k, :k], rtol=1e-9, atol=1e-9
+        )
+        if k < m:
+            l21 = front[k:, :k]
+            np.testing.assert_allclose(
+                l21 @ np.diag(d) @ l11.T, a[k:, :k], rtol=1e-8, atol=1e-8
+            )
+            schur = a[k:, k:] - l21 @ np.diag(d) @ l21.T
+            np.testing.assert_allclose(
+                np.tril(front[k:, k:]), np.tril(schur), rtol=1e-8, atol=1e-8
+            )
+
+    def test_partial_consistency_chol_vs_ldlt(self, rng):
+        """For SPD fronts, L_chol = L_ldlt @ sqrt(D)."""
+        a = spd(rng, 8)
+        f1, f2 = a.copy(), a.copy()
+        partial_cholesky(f1, 3)
+        d = partial_ldlt(f2, 3)
+        l11c = np.tril(f1[:3, :3])
+        l11d = np.tril(f2[:3, :3], -1) + np.eye(3)
+        np.testing.assert_allclose(l11c, l11d * np.sqrt(d)[None, :], rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(
+            np.tril(f1[3:, 3:]), np.tril(f2[3:, 3:]), rtol=1e-8, atol=1e-8
+        )

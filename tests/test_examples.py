@@ -1,0 +1,46 @@
+"""Smoke tests: the parameterizable examples run end-to-end at small sizes.
+
+The heavier fixed-size examples (quickstart, structural_analysis_3d,
+scaling_study) are exercised implicitly by the library tests covering the
+same call paths; running them here would dominate suite time.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
+
+
+def test_ordering_playground_runs(capsys):
+    import ordering_playground
+
+    ordering_playground.main()
+    out = capsys.readouterr().out
+    assert "separator" in out
+
+
+def test_domain_decomposition_runs(capsys):
+    import domain_decomposition
+
+    domain_decomposition.main(9)
+    out = capsys.readouterr().out
+    assert "substructured vs monolithic" in out
+
+
+def test_transport_lu_runs(capsys):
+    import transport_lu
+
+    transport_lu.main(10)
+    out = capsys.readouterr().out
+    assert "cross-check" in out
+
+
+def test_capacity_planning_runs(capsys):
+    import capacity_planning
+
+    capacity_planning.main(8)
+    out = capsys.readouterr().out
+    assert "bottoms out" in out
+    assert "validation" in out

@@ -1,0 +1,212 @@
+"""Tests for repro.gen generators: structure, symmetry, SPD-ness."""
+
+import numpy as np
+import pytest
+
+from repro.gen import (
+    grid2d_laplacian,
+    grid3d_laplacian,
+    grid2d_9pt,
+    grid3d_27pt,
+    grid2d_anisotropic,
+    elasticity3d,
+    random_spd_sparse,
+    random_sym_pattern,
+    paper_suite,
+    get_paper_matrix,
+)
+from repro.sparse.ops import full_symmetric_from_lower
+from repro.util.errors import ShapeError
+
+
+def assert_spd_lower(lower):
+    """Lower-triangular CSC represents an SPD matrix (dense oracle)."""
+    full = full_symmetric_from_lower(lower).to_dense()
+    np.testing.assert_allclose(full, full.T)
+    eigvals = np.linalg.eigvalsh(full)
+    assert eigvals.min() > 0, f"min eigenvalue {eigvals.min()}"
+
+
+class TestGrid2D:
+    def test_shape_and_nnz(self):
+        m = grid2d_laplacian(3, 4)
+        assert m.shape == (12, 12)
+        # diagonal 12 + edges: 4 rows of 2 horizontal + 3 cols... edges = ny*(nx-1) + nx*(ny-1)
+        assert m.nnz == 12 + 4 * 2 + 3 * 3
+
+    def test_known_values(self):
+        d = full_symmetric_from_lower(grid2d_laplacian(2)).to_dense()
+        expected = np.array(
+            [
+                [4.0, -1.0, -1.0, 0.0],
+                [-1.0, 4.0, 0.0, -1.0],
+                [-1.0, 0.0, 4.0, -1.0],
+                [0.0, -1.0, -1.0, 4.0],
+            ]
+        )
+        np.testing.assert_array_equal(d, expected)
+
+    def test_spd(self):
+        assert_spd_lower(grid2d_laplacian(5, 4))
+
+    def test_single_vertex(self):
+        m = grid2d_laplacian(1)
+        assert m.shape == (1, 1)
+        assert m.to_dense()[0, 0] == 4.0
+
+    def test_invalid_dims(self):
+        with pytest.raises(ShapeError):
+            grid2d_laplacian(0)
+
+    def test_square_default(self):
+        assert grid2d_laplacian(4).shape == (16, 16)
+
+
+class TestGrid3D:
+    def test_shape(self):
+        assert grid3d_laplacian(2, 3, 4).shape == (24, 24)
+
+    def test_spd(self):
+        assert_spd_lower(grid3d_laplacian(3))
+
+    def test_degree_bound(self):
+        # every vertex has at most 6 mesh neighbours
+        m = full_symmetric_from_lower(grid3d_laplacian(4))
+        assert int(m.col_degrees().max()) <= 7  # + diagonal
+
+    def test_interior_row_sums_zero_offdiag(self):
+        d = full_symmetric_from_lower(grid3d_laplacian(3)).to_dense()
+        center = 13  # (1,1,1) in a 3x3x3 grid
+        assert d[center, center] == 6.0
+        assert np.sum(d[center]) == 0.0  # interior row: 6 - 6*1
+
+
+class TestStencils9And27:
+    def test_9pt_spd(self):
+        assert_spd_lower(grid2d_9pt(5))
+
+    def test_9pt_denser_than_5pt(self):
+        assert grid2d_9pt(6).nnz > grid2d_laplacian(6).nnz
+
+    def test_27pt_spd(self):
+        assert_spd_lower(grid3d_27pt(3))
+
+    def test_27pt_neighbor_count(self):
+        d = full_symmetric_from_lower(grid3d_27pt(3)).to_dense()
+        center = 13
+        assert np.count_nonzero(d[center]) == 27
+
+    def test_27pt_denser_than_7pt(self):
+        assert grid3d_27pt(4).nnz > grid3d_laplacian(4).nnz
+
+
+class TestAnisotropic:
+    def test_spd(self):
+        assert_spd_lower(grid2d_anisotropic(5, 5, epsilon=0.01))
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ShapeError):
+            grid2d_anisotropic(3, 3, epsilon=0.0)
+
+    def test_couplings(self):
+        d = full_symmetric_from_lower(grid2d_anisotropic(3, 3, epsilon=0.1)).to_dense()
+        assert d[0, 1] == -1.0  # x neighbour
+        assert d[0, 3] == -0.1  # y neighbour
+
+
+class TestElasticity:
+    def test_shape_is_3n(self):
+        m = elasticity3d(2)
+        assert m.shape == (24, 24)
+
+    def test_spd(self):
+        assert_spd_lower(elasticity3d(3, seed=1))
+
+    def test_deterministic(self):
+        a = elasticity3d(2, seed=5).to_dense()
+        b = elasticity3d(2, seed=5).to_dense()
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_values(self):
+        a = elasticity3d(2, seed=5).to_dense()
+        b = elasticity3d(2, seed=6).to_dense()
+        assert not np.array_equal(a, b)
+
+    def test_block_structure(self):
+        """Vertex-diagonal 3x3 blocks are fully populated."""
+        d = full_symmetric_from_lower(elasticity3d(2, seed=0)).to_dense()
+        blk = d[:3, :3]
+        np.testing.assert_allclose(blk, blk.T)
+        assert np.all(np.diag(blk) > 0)
+
+    def test_invalid_coupling(self):
+        with pytest.raises(ShapeError):
+            elasticity3d(2, coupling=0.0)
+
+
+class TestRandomSPD:
+    def test_spd(self):
+        assert_spd_lower(random_spd_sparse(30, avg_degree=4, seed=3))
+
+    def test_deterministic(self):
+        a = random_spd_sparse(20, seed=1).to_dense()
+        b = random_spd_sparse(20, seed=1).to_dense()
+        np.testing.assert_array_equal(a, b)
+
+    def test_degree_scaling(self):
+        sparse = random_spd_sparse(100, avg_degree=2, seed=2)
+        dense = random_spd_sparse(100, avg_degree=8, seed=2)
+        assert dense.nnz > sparse.nnz
+
+    def test_n1(self):
+        m = random_spd_sparse(1, seed=0)
+        assert m.shape == (1, 1)
+        assert m.to_dense()[0, 0] > 0
+
+    def test_pattern_no_self_loops(self):
+        hi, lo = random_sym_pattern(50, 4.0, seed=7)
+        assert np.all(hi > lo)
+
+    def test_pattern_unique(self):
+        hi, lo = random_sym_pattern(50, 6.0, seed=8)
+        keys = hi * 50 + lo
+        assert np.unique(keys).size == keys.size
+
+    def test_pattern_invalid(self):
+        with pytest.raises(ShapeError):
+            random_sym_pattern(0, 1.0)
+        with pytest.raises(ShapeError):
+            random_sym_pattern(5, -1.0)
+
+
+class TestPaperSuite:
+    def test_suite_nonempty_and_named(self):
+        suite = paper_suite()
+        assert len(suite) >= 8
+        names = [m.name for m in suite]
+        assert len(set(names)) == len(names)
+
+    def test_all_build_spd(self):
+        for m in paper_suite():
+            lower = m.build()
+            assert lower.shape[0] == lower.shape[1]
+            # cheap SPD proxy for larger instances: positive diagonal and
+            # symmetric storage; full eigen check for the smallest only.
+            assert np.all(lower.diagonal() > 0)
+
+    def test_smallest_instances_truly_spd(self):
+        assert_spd_lower(get_paper_matrix("cube-s").build())
+        assert_spd_lower(get_paper_matrix("elast-s").build())
+
+    def test_get_by_name(self):
+        m = get_paper_matrix("cube-m")
+        assert m.name == "cube-m"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_paper_matrix("nope")
+
+    def test_archetypes_cover_2d_and_3d(self):
+        suite = paper_suite()
+        assert any("2D" in m.archetype for m in suite)
+        assert any("3D" in m.archetype for m in suite)

@@ -1,0 +1,233 @@
+"""Tests for the distributed (simulated-parallel) LU path."""
+
+import numpy as np
+import pytest
+
+from repro.core import ParallelConfig, UnsymmetricSolver
+from repro.gen import convection_diffusion2d
+from repro.machine import BLUEGENE_P, GENERIC_CLUSTER
+from repro.parallel import PlanOptions
+from repro.parallel.lu_par import (
+    ea_pairs_full,
+    simulate_lu_factorization,
+    simulate_lu_solve,
+)
+from repro.sparse import CSCMatrix
+from repro.sparse.ops import matvec_csc
+from repro.util.errors import ReproError, ShapeError
+from repro.util.rng import make_rng
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = convection_diffusion2d(8, wind=(1.0, -0.4), peclet=1.5)
+    seq = UnsymmetricSolver(a)
+    seq.factor()
+    return a, seq
+
+
+class TestDistributedLUFactor:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_sequential(self, problem, p):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, p, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        l_ref, u_ref = seq.factor_data.to_dense_lu()
+        l, u = res.to_dense_lu()
+        np.testing.assert_allclose(l, l_ref, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(u, u_ref, rtol=1e-9, atol=1e-9)
+
+    @pytest.mark.parametrize("policy", ["2d", "1d"])
+    def test_policies(self, problem, policy):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym,
+            seq.permuted_full,
+            4,
+            GENERIC_CLUSTER,
+            PlanOptions(nb=8, policy=policy),
+        )
+        l_ref, u_ref = seq.factor_data.to_dense_lu()
+        l, u = res.to_dense_lu()
+        np.testing.assert_allclose(l, l_ref, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(u, u_ref, rtol=1e-9, atol=1e-9)
+
+    def test_flops_about_double_symmetric(self, problem):
+        """LU on the symmetrized structure counts ~2x the Cholesky flops."""
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 2, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        sym_flops = sum(
+            seq.sym.supernode_flops(s) for s in range(seq.sym.n_supernodes)
+        )
+        assert res.total_flops == pytest.approx(2 * sym_flops, rel=0.35)
+
+    def test_ea_pairs_full_superset_of_triangular(self, problem):
+        from repro.parallel import FactorPlan
+
+        _, seq = problem
+        plan = FactorPlan(seq.sym, 4, PlanOptions(nb=8))
+        for c in range(seq.sym.n_supernodes):
+            if seq.sym.sn_parent[c] < 0:
+                continue
+            assert plan.ea_pairs(c) <= ea_pairs_full(plan, c)
+
+
+class TestDistributedLUSolve:
+    @pytest.mark.parametrize("p", [1, 2, 4, 6])
+    def test_residual(self, problem, p):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, p, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        b = make_rng(p).standard_normal(a.shape[0])
+        _sim, x = simulate_lu_solve(res, b)
+        r = np.max(np.abs(b - matvec_csc(a, x)))
+        assert r < 1e-10 * max(1.0, np.max(np.abs(b)))
+
+    def test_matches_numpy(self, problem):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        b = make_rng(3).standard_normal(a.shape[0])
+        _sim, x = simulate_lu_solve(res, b)
+        np.testing.assert_allclose(
+            x, np.linalg.solve(a.to_dense(), b), rtol=1e-8
+        )
+
+    def test_bad_rhs_shape(self, problem):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 2, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        with pytest.raises(ShapeError):
+            simulate_lu_solve(res, np.ones(3))
+
+
+class TestLUSolverSimulateAPI:
+    def test_simulate_with_verify_and_solve(self, problem):
+        a, _ = problem
+        solver = UnsymmetricSolver(a)
+        b = np.ones(a.shape[0])
+        cfg = ParallelConfig(n_ranks=4, machine=BLUEGENE_P, nb=8)
+        res, x = solver.simulate(cfg, b=b, verify=True)
+        r = np.max(np.abs(b - matvec_csc(a, x)))
+        assert r < 1e-9
+        assert res.makespan > 0
+
+    def test_simulate_detects_corruption(self, problem, monkeypatch):
+        a, _ = problem
+        solver = UnsymmetricSolver(a)
+        solver.factor()
+        from repro.parallel.lu_par import ParallelLUResult
+
+        real = ParallelLUResult.to_dense_lu
+
+        def corrupted(self):
+            l, u = real(self)
+            u[0, 0] += 1.0
+            return l, u
+
+        monkeypatch.setattr(ParallelLUResult, "to_dense_lu", corrupted)
+        with pytest.raises(ReproError, match="mismatch"):
+            solver.simulate(
+                ParallelConfig(n_ranks=2, machine=GENERIC_CLUSTER, nb=8),
+                verify=True,
+            )
+
+    def test_scaling_smoke(self):
+        """LU strong scaling on the BG/P model shows speedup on a bigger
+        mesh, like the symmetric path."""
+        a = convection_diffusion2d(16, peclet=1.0)
+        solver = UnsymmetricSolver(a)
+        solver.analyze()
+        t1 = simulate_lu_factorization(
+            solver.sym, solver.permuted_full, 1, BLUEGENE_P, PlanOptions(nb=16)
+        ).makespan
+        t8 = simulate_lu_factorization(
+            solver.sym, solver.permuted_full, 8, BLUEGENE_P, PlanOptions(nb=16)
+        ).makespan
+        assert t8 < t1
+
+
+class TestLUStaticPolicy:
+    def test_static_policy_matches(self, problem):
+        """Static-grid mapping exercises cross-rank extend-add between
+        sequential supernodes (children scattered over ranks)."""
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym,
+            seq.permuted_full,
+            4,
+            GENERIC_CLUSTER,
+            PlanOptions(nb=8, policy="static"),
+        )
+        l_ref, u_ref = seq.factor_data.to_dense_lu()
+        l, u = res.to_dense_lu()
+        np.testing.assert_allclose(l, l_ref, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(u, u_ref, rtol=1e-9, atol=1e-9)
+        b = make_rng(5).standard_normal(a.shape[0])
+        _sim, x = simulate_lu_solve(res, b)
+        r = np.max(np.abs(b - matvec_csc(a, x)))
+        assert r < 1e-10
+
+
+class TestLUPropertyPipeline:
+    @pytest.mark.parametrize("seed,p", [(0, 2), (1, 3), (2, 5), (3, 8)])
+    def test_random_dd_end_to_end(self, seed, p):
+        rng = make_rng(seed)
+        n = 30
+        dense = rng.standard_normal((n, n))
+        mask = rng.random((n, n)) < 0.15
+        np.fill_diagonal(mask, False)
+        dense = dense * mask
+        np.fill_diagonal(dense, np.abs(dense).sum(axis=1) + 1.0)
+        a = CSCMatrix.from_dense(dense)
+        solver = UnsymmetricSolver(a)
+        solver.analyze()
+        res = simulate_lu_factorization(
+            solver.sym, solver.permuted_full, p, GENERIC_CLUSTER, PlanOptions(nb=4)
+        )
+        b = rng.standard_normal(n)
+        _sim, x = simulate_lu_solve(res, b)
+        np.testing.assert_allclose(x, np.linalg.solve(dense, b), rtol=1e-7, atol=1e-9)
+
+
+class TestLUMultiRHS:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_block_residuals(self, problem, k):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        n = a.shape[0]
+        b = make_rng(20 + k).standard_normal((n, k))
+        _sim, x = simulate_lu_solve(res, b)
+        assert x.shape == (n, k)
+        for j in range(k):
+            r = np.max(np.abs(b[:, j] - matvec_csc(a, x[:, j])))
+            assert r < 1e-10
+
+    def test_block_matches_single(self, problem):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 3, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        b = make_rng(30).standard_normal((a.shape[0], 3))
+        _s, xb = simulate_lu_solve(res, b)
+        for j in range(3):
+            _s, xj = simulate_lu_solve(res, b[:, j])
+            np.testing.assert_allclose(xb[:, j], xj, rtol=1e-12)
+
+    def test_block_amortizes(self, problem):
+        a, seq = problem
+        res = simulate_lu_factorization(
+            seq.sym, seq.permuted_full, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        b = make_rng(31).standard_normal((a.shape[0], 8))
+        s_block, _ = simulate_lu_solve(res, b)
+        s_single, _ = simulate_lu_solve(res, b[:, 0])
+        assert s_block.makespan < 4 * s_single.makespan

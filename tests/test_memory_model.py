@@ -1,0 +1,68 @@
+"""Tests for the symbolic memory predictor against the executing engine."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory import (
+    min_feasible_ranks,
+    predict_peak_bytes_per_rank,
+    predict_rank_entries,
+)
+from repro.gen import grid3d_laplacian
+from repro.graph import AdjacencyGraph
+from repro.machine import GENERIC_CLUSTER
+from repro.ordering import nested_dissection_order
+from repro.parallel import FactorPlan, PlanOptions, simulate_factorization
+from repro.symbolic import analyze
+from repro.util.errors import ShapeError
+
+
+@pytest.fixture(scope="module")
+def sym():
+    lower = grid3d_laplacian(6)
+    g = AdjacencyGraph.from_symmetric_lower(lower)
+    return analyze(lower, nested_dissection_order(g))
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_within_factor_of_des(self, sym, p):
+        plan = FactorPlan(sym, p, PlanOptions(nb=16))
+        predicted = predict_rank_entries(plan)
+        res = simulate_factorization(sym, p, GENERIC_CLUSTER, PlanOptions(nb=16))
+        measured = res.peak_entries_by_rank()
+        # Same order of magnitude, rank by rank (stack transients differ).
+        assert predicted.max() >= measured.max() / 4
+        assert predicted.max() <= measured.max() * 4
+
+    def test_memory_shrinks_with_p(self, sym):
+        peaks = [
+            predict_peak_bytes_per_rank(FactorPlan(sym, p, PlanOptions(nb=16)))
+            for p in (1, 4, 16)
+        ]
+        assert peaks[2] < peaks[0]
+
+    def test_entries_cover_factor(self, sym):
+        plan = FactorPlan(sym, 4, PlanOptions(nb=16))
+        predicted = predict_rank_entries(plan)
+        # Total predicted storage at least the factor's stored entries.
+        assert predicted.sum() >= sym.nnz_stored
+
+
+class TestFeasibility:
+    def test_min_ranks_monotone_in_budget(self, sym):
+        big = min_feasible_ranks(sym, 10**9, PlanOptions(nb=16))
+        small = min_feasible_ranks(
+            sym, predict_peak_bytes_per_rank(FactorPlan(sym, 8, PlanOptions(nb=16))),
+            PlanOptions(nb=16),
+        )
+        assert big == 1
+        assert small >= 1
+
+    def test_infeasible_raises(self, sym):
+        with pytest.raises(ShapeError):
+            min_feasible_ranks(sym, 64.0, PlanOptions(nb=16), max_ranks=8)
+
+    def test_invalid_budget(self, sym):
+        with pytest.raises(ShapeError):
+            min_feasible_ranks(sym, 0.0)

@@ -1,0 +1,101 @@
+"""Small-surface tests for corners not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.machine import BLUEGENE_P, GENERIC_CLUSTER, MachineModel, Torus3D
+from repro.mf.accounting import FactorStats
+from repro.parallel import hybrid_configurations
+from repro.parallel.plan import FactorPlan, PlanOptions
+from repro.gen import grid2d_laplacian
+from repro.graph import AdjacencyGraph
+from repro.ordering import nested_dissection_order
+from repro.symbolic import analyze
+from repro.util.errors import ShapeError
+from repro.util.tables import format_si
+
+
+class TestHybridConfigurations:
+    def test_bgp_64_cores(self):
+        cfgs = hybrid_configurations(64, BLUEGENE_P)
+        assert (64, 1) in cfgs
+        assert (16, 4) in cfgs  # BG/P has 4 hw threads
+        assert all(r * t == 64 for r, t in cfgs)
+
+    def test_thread_cap_respected(self):
+        cfgs = hybrid_configurations(32, BLUEGENE_P)
+        assert max(t for _, t in cfgs) <= BLUEGENE_P.max_threads_per_rank
+
+    def test_invalid_cores(self):
+        with pytest.raises(ShapeError):
+            hybrid_configurations(0, BLUEGENE_P)
+
+    def test_single_core(self):
+        assert hybrid_configurations(1, GENERIC_CLUSTER) == [(1, 1)]
+
+
+class TestFactorStats:
+    def test_mean_front_order(self):
+        s = FactorStats()
+        s.observe_front(10, 2, 100)
+        s.observe_front(20, 4, 400)
+        assert s.mean_front_order == 15.0
+        assert s.max_front_order == 20
+        assert s.flops == 500
+        assert s.n_fronts == 2
+
+    def test_empty_mean(self):
+        assert FactorStats().mean_front_order == 0.0
+
+
+class TestFormatSi:
+    def test_tera(self):
+        assert format_si(2.5e12, "flop") == "2.50 Tflop"
+
+    def test_mega(self):
+        assert format_si(3.2e6) == "3.20 M"
+
+    def test_negative(self):
+        assert format_si(-5e9, "B") == "-5.00 GB"
+
+
+class TestTorusEdges:
+    def test_single_rank(self):
+        assert Torus3D().hops(0, 0, 1) == 0
+
+    def test_prime_rank_count(self):
+        t = Torus3D()
+        # 7 ranks folds into 7x1x1; max wraparound distance is 3.
+        assert t.hops(0, 3, 7) == 3
+        assert t.hops(0, 4, 7) == 3
+
+
+class TestPlanDescribe:
+    def test_fields(self):
+        lower = grid2d_laplacian(6)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, nested_dissection_order(g))
+        plan = FactorPlan(sym, 4, PlanOptions(nb=8))
+        d = plan.describe()
+        assert d["n_ranks"] == 4
+        assert d["n_distributed"] + d["n_sequential"] == d["n_supernodes"]
+        assert 1 <= d["max_group"] <= 4
+
+
+class TestMachineCompare:
+    def test_smp_speedup_floor(self):
+        m = MachineModel(
+            name="x",
+            flop_rate=1e9,
+            dense_efficiency=0.5,
+            small_kernel_efficiency=0.1,
+            kernel_crossover=10,
+            mem_bandwidth=1e9,
+            alpha=1e-6,
+            alpha_hop=0.0,
+            beta=1e-9,
+            max_threads_per_rank=64,
+            smp_efficiency_slope=0.5,
+        )
+        # Efficiency clamps at 0.1 per thread, never negative speedup.
+        assert m.smp_speedup(64) > 0

@@ -1,0 +1,153 @@
+"""Tests for the multilevel bisection and its ND integration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gen import grid2d_laplacian, grid3d_laplacian, random_spd_sparse
+from repro.graph import AdjacencyGraph
+from repro.graph.bisection import bisect, cut_size
+from repro.graph.multilevel import (
+    WeightedGraph,
+    bisect_multilevel,
+    contract,
+    heavy_edge_matching,
+)
+from repro.graph.separators import is_separator, vertex_separator_from_bisection
+from repro.ordering import NDOptions, nested_dissection_order, ordering_quality
+from repro.util.errors import OrderingError
+from repro.util.rng import make_rng
+
+
+def grid_graph(nx):
+    return AdjacencyGraph.from_symmetric_lower(grid2d_laplacian(nx))
+
+
+class TestMatching:
+    def test_matching_is_symmetric(self):
+        g = WeightedGraph.from_adjacency(grid_graph(6))
+        match = heavy_edge_matching(g, make_rng(0))
+        for u in range(g.n):
+            assert match[int(match[u])] == u
+
+    def test_matching_prefers_heavy_edges(self):
+        # Triangle with one heavy edge: the heavy edge must be matched.
+        xadj = np.array([0, 2, 4, 6])
+        adjncy = np.array([1, 2, 0, 2, 0, 1])
+        adjwgt = np.array([10, 1, 10, 1, 1, 1])
+        vwgt = np.ones(3, dtype=np.int64)
+        g = WeightedGraph(xadj, adjncy, adjwgt, vwgt)
+        match = heavy_edge_matching(g, make_rng(1))
+        assert {int(match[0]), int(match[1])} <= {0, 1}
+
+    def test_isolated_vertices_self_matched(self):
+        g = WeightedGraph.from_adjacency(AdjacencyGraph.from_edges(3, [], []))
+        match = heavy_edge_matching(g, make_rng(0))
+        np.testing.assert_array_equal(match, [0, 1, 2])
+
+
+class TestContract:
+    def test_weights_conserved(self):
+        g = WeightedGraph.from_adjacency(grid_graph(5))
+        match = heavy_edge_matching(g, make_rng(2))
+        coarse, cmap = contract(g, match)
+        assert coarse.vwgt.sum() == g.vwgt.sum()
+        assert coarse.n < g.n
+        assert cmap.max() == coarse.n - 1
+
+    def test_cut_preserved_under_projection(self):
+        """A coarse cut projected to the fine graph has the same weight."""
+        g = WeightedGraph.from_adjacency(grid_graph(6))
+        match = heavy_edge_matching(g, make_rng(3))
+        coarse, cmap = contract(g, match)
+        rng = make_rng(4)
+        cside = rng.random(coarse.n) < 0.5
+        fside = cside[cmap]
+        # coarse cut weight
+        deg = np.diff(coarse.xadj)
+        src = np.repeat(np.arange(coarse.n, dtype=np.int64), deg)
+        cw = int(
+            coarse.adjwgt[cside[src] != cside[coarse.adjncy]].sum()
+        ) // 2
+        fine_plain = grid_graph(6)
+        assert cut_size(fine_plain, fside) == cw
+
+    def test_no_self_loops_in_coarse(self):
+        g = WeightedGraph.from_adjacency(grid_graph(4))
+        coarse, _ = contract(g, heavy_edge_matching(g, make_rng(5)))
+        deg = np.diff(coarse.xadj)
+        src = np.repeat(np.arange(coarse.n, dtype=np.int64), deg)
+        assert not np.any(src == coarse.adjncy)
+
+
+class TestMultilevelBisect:
+    @pytest.mark.parametrize("nx", [8, 12, 16])
+    def test_valid_balanced_bisection(self, nx):
+        g = grid_graph(nx)
+        side = bisect_multilevel(g)
+        n1 = int(side.sum())
+        assert 0 < n1 < g.n
+        assert max(n1, g.n - n1) <= int(0.56 * g.n) + 1
+
+    def test_cut_competitive_with_flat(self):
+        g = grid_graph(16)
+        ml = cut_size(g, bisect_multilevel(g))
+        flat = cut_size(g, bisect(g))
+        # Multilevel should be at least as good as flat within 50%.
+        assert ml <= flat * 1.5
+        # And close to the geometric optimum (16) within 2x.
+        assert ml <= 32
+
+    def test_3d_separator_valid(self):
+        g = AdjacencyGraph.from_symmetric_lower(grid3d_laplacian(6))
+        side = bisect_multilevel(g)
+        p0, p1, sep = vertex_separator_from_bisection(g, side)
+        assert is_separator(g, p0, p1)
+
+    def test_trivial_sizes(self):
+        assert bisect_multilevel(AdjacencyGraph.from_edges(0, [], [])).size == 0
+        assert bisect_multilevel(AdjacencyGraph.from_edges(1, [], [])).tolist() == [False]
+
+    def test_bad_balance(self):
+        with pytest.raises(OrderingError):
+            bisect_multilevel(grid_graph(4), balance=0.4)
+
+    def test_deterministic(self):
+        g = grid_graph(10)
+        a = bisect_multilevel(g, seed=7)
+        b = bisect_multilevel(g, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 60), st.integers(0, 5000))
+    def test_property_random_graphs(self, n, seed):
+        lower = random_spd_sparse(n, avg_degree=3, seed=seed)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        side = bisect_multilevel(g)
+        assert side.size == n
+        p0, p1, sep = vertex_separator_from_bisection(g, side)
+        assert is_separator(g, p0, p1)
+
+
+class TestNDIntegration:
+    def test_multilevel_nd_valid_perm(self):
+        g = AdjacencyGraph.from_symmetric_lower(grid3d_laplacian(6))
+        perm = nested_dissection_order(g, NDOptions(strategy="multilevel"))
+        np.testing.assert_array_equal(np.sort(perm), np.arange(g.n))
+
+    def test_multilevel_nd_quality_competitive(self):
+        lower = grid3d_laplacian(8)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        q_flat = ordering_quality(lower, nested_dissection_order(g))
+        q_ml = ordering_quality(
+            lower, nested_dissection_order(g, NDOptions(strategy="multilevel"))
+        )
+        assert q_ml.factor_flops <= q_flat.factor_flops * 1.4
+
+    def test_small_graphs_skip_multilevel(self):
+        # Below the threshold the flat path runs; result is still valid.
+        g = AdjacencyGraph.from_symmetric_lower(grid2d_laplacian(5))
+        perm = nested_dissection_order(
+            g, NDOptions(strategy="multilevel", multilevel_threshold=1000)
+        )
+        np.testing.assert_array_equal(np.sort(perm), np.arange(25))

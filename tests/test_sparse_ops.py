@@ -1,0 +1,319 @@
+"""Tests for repro.sparse.ops, permute, io_mm."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sps
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import (
+    COOMatrix,
+    CSCMatrix,
+    CSRMatrix,
+    coo_to_csc,
+    coo_to_csr,
+    matvec_csr,
+    matvec_csc,
+    transpose_csr,
+    tril,
+    triu,
+    symmetrize,
+    full_symmetric_from_lower,
+    is_structurally_symmetric,
+    sym_matvec_lower,
+    permute_symmetric_lower,
+    apply_permutation_csc,
+    read_matrix_market,
+    write_matrix_market,
+)
+from repro.sparse.permute import (
+    invert_permutation,
+    permute_vector,
+    unpermute_vector,
+)
+from repro.sparse.io_mm import matrix_market_roundtrip
+from repro.util.errors import ShapeError
+
+
+def random_sparse_dense(rng, shape, density=0.4):
+    d = rng.standard_normal(shape)
+    d[rng.random(shape) >= density] = 0.0
+    return d
+
+
+class TestMatvec:
+    def test_csr_matches_dense(self, rng):
+        d = random_sparse_dense(rng, (6, 8))
+        x = rng.standard_normal(8)
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_allclose(matvec_csr(m, x), d @ x)
+
+    def test_csc_matches_dense(self, rng):
+        d = random_sparse_dense(rng, (6, 8))
+        x = rng.standard_normal(8)
+        m = CSCMatrix.from_dense(d)
+        np.testing.assert_allclose(matvec_csc(m, x), d @ x)
+
+    def test_empty_rows(self):
+        d = np.array([[0.0, 0.0], [1.0, 2.0], [0.0, 0.0]])
+        m = CSRMatrix.from_dense(d)
+        np.testing.assert_allclose(matvec_csr(m, np.array([1.0, 1.0])), [0.0, 3.0, 0.0])
+
+    def test_zero_matrix(self):
+        m = CSRMatrix.from_dense(np.zeros((3, 3)))
+        np.testing.assert_array_equal(matvec_csr(m, np.ones(3)), np.zeros(3))
+        mc = CSCMatrix.from_dense(np.zeros((3, 3)))
+        np.testing.assert_array_equal(matvec_csc(mc, np.ones(3)), np.zeros(3))
+
+    def test_wrong_x_shape(self):
+        m = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            matvec_csr(m, np.ones(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(0, 1000))
+    def test_property_csr_csc_agree(self, nr, nc, seed):
+        rng = np.random.default_rng(seed)
+        d = random_sparse_dense(rng, (nr, nc))
+        x = rng.standard_normal(nc)
+        yr = matvec_csr(CSRMatrix.from_dense(d), x)
+        yc = matvec_csc(CSCMatrix.from_dense(d), x)
+        np.testing.assert_allclose(yr, yc, atol=1e-12)
+
+
+class TestTransposeTriangles:
+    def test_transpose_csr(self, rng):
+        d = random_sparse_dense(rng, (5, 7))
+        t = transpose_csr(CSRMatrix.from_dense(d))
+        np.testing.assert_allclose(t.to_dense(), d.T)
+
+    def test_tril_triu(self, rng):
+        d = random_sparse_dense(rng, (6, 6))
+        m = CSCMatrix.from_dense(d)
+        np.testing.assert_allclose(tril(m).to_dense(), np.tril(d))
+        np.testing.assert_allclose(triu(m).to_dense(), np.triu(d))
+        np.testing.assert_allclose(tril(m, k=-1).to_dense(), np.tril(d, -1))
+        np.testing.assert_allclose(triu(m, k=1).to_dense(), np.triu(d, 1))
+
+    def test_tril_triu_partition(self, rng):
+        d = random_sparse_dense(rng, (6, 6))
+        m = CSCMatrix.from_dense(d)
+        total = tril(m, -1).to_dense() + triu(m).to_dense()
+        np.testing.assert_allclose(total, d)
+
+
+class TestSymmetry:
+    def test_is_structurally_symmetric_true(self):
+        d = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert is_structurally_symmetric(CSCMatrix.from_dense(d))
+
+    def test_is_structurally_symmetric_false(self):
+        d = np.array([[1.0, 2.0], [0.0, 4.0]])
+        assert not is_structurally_symmetric(CSCMatrix.from_dense(d))
+
+    def test_not_square(self):
+        d = np.ones((2, 3))
+        assert not is_structurally_symmetric(CSCMatrix.from_dense(d))
+
+    def test_symmetrize_average(self, rng):
+        d = random_sparse_dense(rng, (5, 5))
+        s = symmetrize(CSCMatrix.from_dense(d))
+        np.testing.assert_allclose(s.to_dense(), (d + d.T) / 2)
+
+    def test_symmetrize_pattern_keeps_values(self):
+        d = np.array([[1.0, 5.0], [0.0, 2.0]])
+        s = symmetrize(CSCMatrix.from_dense(d), mode="pattern")
+        out = s.to_dense()
+        assert out[0, 1] == 5.0
+        assert out[1, 0] == 5.0
+
+    def test_symmetrize_bad_mode(self):
+        with pytest.raises(ValueError):
+            symmetrize(CSCMatrix.from_dense(np.eye(2)), mode="nope")
+
+    def test_symmetrize_requires_square(self):
+        with pytest.raises(ShapeError):
+            symmetrize(CSCMatrix.from_dense(np.ones((2, 3))))
+
+    def test_full_from_lower(self, rng):
+        d = random_sparse_dense(rng, (6, 6))
+        sym = (d + d.T) / 2
+        np.fill_diagonal(sym, 1.0)
+        lower = CSCMatrix.from_dense(np.tril(sym))
+        np.testing.assert_allclose(full_symmetric_from_lower(lower).to_dense(), sym)
+
+    def test_sym_matvec_lower(self, rng):
+        d = random_sparse_dense(rng, (8, 8))
+        sym = d + d.T
+        np.fill_diagonal(sym, 3.0)
+        lower = CSCMatrix.from_dense(np.tril(sym))
+        x = rng.standard_normal(8)
+        np.testing.assert_allclose(sym_matvec_lower(lower, x), sym @ x)
+
+    def test_sym_matvec_lower_empty(self):
+        lower = CSCMatrix.from_dense(np.zeros((3, 3)))
+        np.testing.assert_array_equal(sym_matvec_lower(lower, np.ones(3)), np.zeros(3))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 1000))
+    def test_property_sym_matvec(self, n, seed):
+        rng = np.random.default_rng(seed)
+        d = random_sparse_dense(rng, (n, n))
+        sym = d + d.T
+        lower = CSCMatrix.from_dense(np.tril(sym))
+        x = rng.standard_normal(n)
+        np.testing.assert_allclose(sym_matvec_lower(lower, x), sym @ x, atol=1e-10)
+
+
+class TestPermute:
+    def test_invert_permutation(self):
+        p = np.array([2, 0, 1], dtype=np.int64)
+        inv = invert_permutation(p)
+        np.testing.assert_array_equal(inv[p], np.arange(3))
+
+    def test_permute_unpermute_vector(self, rng):
+        x = rng.standard_normal(5)
+        p = rng.permutation(5)
+        np.testing.assert_allclose(unpermute_vector(permute_vector(x, p), p), x)
+
+    def test_apply_permutation_csc(self, rng):
+        d = random_sparse_dense(rng, (5, 5))
+        rp = rng.permutation(5)
+        cp = rng.permutation(5)
+        out = apply_permutation_csc(CSCMatrix.from_dense(d), rp, cp)
+        np.testing.assert_allclose(out.to_dense(), d[np.ix_(rp, cp)])
+
+    def test_permute_symmetric_lower(self, rng):
+        d = random_sparse_dense(rng, (7, 7))
+        sym = d + d.T
+        np.fill_diagonal(sym, 5.0)
+        lower = CSCMatrix.from_dense(np.tril(sym))
+        p = rng.permutation(7)
+        out = permute_symmetric_lower(lower, p)
+        expected = np.tril(sym[np.ix_(p, p)])
+        np.testing.assert_allclose(out.to_dense(), expected)
+
+    def test_permute_symmetric_identity(self, rng):
+        d = np.tril(random_sparse_dense(rng, (5, 5)))
+        np.fill_diagonal(d, 1.0)
+        lower = CSCMatrix.from_dense(d)
+        out = permute_symmetric_lower(lower, np.arange(5))
+        np.testing.assert_allclose(out.to_dense(), d)
+
+    def test_bad_permutation(self, rng):
+        lower = CSCMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            permute_symmetric_lower(lower, [0, 0, 1])
+
+
+class TestMatrixMarket:
+    def test_roundtrip_general(self, rng):
+        d = random_sparse_dense(rng, (5, 4))
+        m = COOMatrix.from_dense(d)
+        out = matrix_market_roundtrip(m)
+        np.testing.assert_allclose(out.to_dense(), d)
+
+    def test_symmetric_write_read(self, rng, tmp_path):
+        d = random_sparse_dense(rng, (5, 5))
+        sym = d + d.T
+        np.fill_diagonal(sym, 2.0)
+        lower = COOMatrix.from_dense(np.tril(sym))
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, lower, symmetric=True)
+        coo, info = read_matrix_market(path)
+        assert info["symmetry"] == "symmetric"
+        np.testing.assert_allclose(coo.to_dense(), sym)
+
+    def test_symmetric_write_rejects_upper(self):
+        m = COOMatrix((2, 2), [0], [1], [1.0])
+        with pytest.raises(ShapeError):
+            write_matrix_market(io.StringIO(), m, symmetric=True)
+
+    def test_pattern_read(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n2 2\n"
+        coo, info = read_matrix_market(io.StringIO(text))
+        assert info["field"] == "pattern"
+        np.testing.assert_allclose(coo.to_dense(), np.eye(2))
+
+    def test_comment_lines_skipped(self):
+        text = (
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n% another\n1 1 1\n1 1 3.5\n"
+        )
+        coo, _ = read_matrix_market(io.StringIO(text))
+        assert coo.to_dense()[0, 0] == 3.5
+
+    def test_bad_header(self):
+        with pytest.raises(ShapeError):
+            read_matrix_market(io.StringIO("garbage\n"))
+
+    def test_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+        with pytest.raises(ShapeError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_scipy_interop(self, rng, tmp_path):
+        """Files we write parse identically under scipy's reader."""
+        import scipy.io as sio
+
+        d = random_sparse_dense(rng, (6, 6))
+        m = COOMatrix.from_dense(d)
+        path = tmp_path / "interop.mtx"
+        write_matrix_market(path, m)
+        ref = sio.mmread(str(path)).toarray()
+        np.testing.assert_allclose(ref, d)
+
+
+class TestEquilibration:
+    def test_unit_diagonal_after_scaling(self, rng):
+        from repro.sparse.scaling import symmetric_equilibrate
+
+        d = np.diag([1.0, 100.0, 1e-4, 9.0])
+        d[1, 0] = d[3, 2] = 0.5
+        lower = CSCMatrix.from_dense(np.tril(d))
+        scaled, diag = symmetric_equilibrate(lower)
+        np.testing.assert_allclose(scaled.diagonal(), 1.0)
+        np.testing.assert_array_equal(diag, [1.0, 100.0, 1e-4, 9.0])
+
+    def test_solve_roundtrip(self, rng):
+        from repro.core import SparseSolver
+        from repro.sparse.ops import full_symmetric_from_lower
+        from repro.sparse.scaling import (
+            scale_rhs,
+            symmetric_equilibrate,
+            unscale_solution,
+        )
+
+        base = rng.standard_normal((8, 8))
+        spd = base @ base.T + 8 * np.eye(8)
+        scale = np.diag(10.0 ** rng.integers(-4, 5, size=8).astype(float))
+        a = scale @ spd @ scale  # badly scaled SPD
+        lower = CSCMatrix.from_dense(np.tril(a))
+        b = rng.standard_normal(8)
+
+        scaled, d = symmetric_equilibrate(lower)
+        x_hat = SparseSolver(scaled).solve(scale_rhs(b, d)).x
+        x = unscale_solution(x_hat, d)
+        np.testing.assert_allclose(a @ x, b, rtol=1e-7, atol=1e-9)
+
+    def test_improves_conditioning(self, rng):
+        from repro.sparse.ops import full_symmetric_from_lower
+        from repro.sparse.scaling import symmetric_equilibrate
+
+        base = rng.standard_normal((6, 6))
+        spd = base @ base.T + 6 * np.eye(6)
+        scale = np.diag([1e-5, 1.0, 1e5, 1.0, 1e-3, 1e3])
+        a = scale @ spd @ scale
+        lower = CSCMatrix.from_dense(np.tril(a))
+        scaled, _ = symmetric_equilibrate(lower)
+        c_before = np.linalg.cond(full_symmetric_from_lower(lower).to_dense())
+        c_after = np.linalg.cond(full_symmetric_from_lower(scaled).to_dense())
+        assert c_after < c_before / 1e6
+
+    def test_rejects_nonpositive_diag(self):
+        from repro.sparse.scaling import symmetric_equilibrate
+
+        lower = CSCMatrix.from_dense(np.diag([1.0, -2.0]))
+        with pytest.raises(ShapeError):
+            symmetric_equilibrate(lower)

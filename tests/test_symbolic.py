@@ -1,0 +1,306 @@
+"""Tests for repro.symbolic: etree, postorder, patterns, supernodes, analyze."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings, strategies as st
+
+from repro.gen import grid2d_laplacian, grid3d_laplacian, random_spd_sparse
+from repro.graph import AdjacencyGraph
+from repro.ordering import amd_order, nested_dissection_order
+from repro.sparse import CSCMatrix
+from repro.sparse.ops import full_symmetric_from_lower
+from repro.sparse.permute import permute_symmetric_lower
+from repro.symbolic import (
+    etree,
+    EliminationForest,
+    postorder,
+    is_postordered,
+    children_lists,
+    column_patterns,
+    symbolic_cholesky,
+    fundamental_supernodes,
+    amalgamate,
+    analyze,
+    AnalyzeOptions,
+)
+from repro.symbolic.postorder import relabel_parent, first_descendants
+from repro.symbolic.supernodes import supernode_parents, supernode_rows
+from repro.symbolic.analyze import dense_partial_factor_flops
+from repro.util.errors import ShapeError
+
+
+def arrow_lower(n):
+    """Arrowhead matrix: dense last row, diagonal elsewhere."""
+    d = np.eye(n) * 10.0
+    d[n - 1, :] = 1.0
+    d[n - 1, n - 1] = 10.0 * n
+    return CSCMatrix.from_dense(np.tril(d))
+
+
+class TestEtree:
+    def test_diagonal_matrix_forest(self):
+        lower = CSCMatrix.from_dense(np.eye(4))
+        parent = etree(lower)
+        np.testing.assert_array_equal(parent, [-1, -1, -1, -1])
+
+    def test_tridiagonal_chain(self):
+        d = np.eye(5) * 4 + np.diag(-np.ones(4), -1) + np.diag(-np.ones(4), 1)
+        lower = CSCMatrix.from_dense(np.tril(d))
+        parent = etree(lower)
+        np.testing.assert_array_equal(parent, [1, 2, 3, 4, -1])
+
+    def test_arrowhead(self):
+        parent = etree(arrow_lower(5))
+        np.testing.assert_array_equal(parent, [4, 4, 4, 4, -1])
+
+    def test_dense_matrix_chain(self):
+        n = 4
+        d = np.ones((n, n)) + n * np.eye(n)
+        parent = etree(CSCMatrix.from_dense(np.tril(d)))
+        np.testing.assert_array_equal(parent, [1, 2, 3, -1])
+
+    def test_rectangular_rejected(self):
+        with pytest.raises(ShapeError):
+            etree(CSCMatrix.from_dense(np.ones((2, 3))))
+
+    def test_parent_is_min_offdiag_row_of_l(self):
+        """Cross-check against the definition via dense Cholesky structure."""
+        lower = grid2d_laplacian(4)
+        parent = etree(lower)
+        full = full_symmetric_from_lower(lower).to_dense()
+        chol = scipy.linalg.cholesky(full, lower=True)
+        chol[np.abs(chol) < 1e-12] = 0.0
+        n = lower.shape[0]
+        for j in range(n):
+            below = np.flatnonzero(chol[:, j])
+            below = below[below > j]
+            expected = below[0] if below.size else -1
+            assert parent[j] == expected
+
+
+class TestEliminationForest:
+    def test_children_and_roots(self):
+        parent = np.array([2, 2, 4, 4, -1], dtype=np.int64)
+        f = EliminationForest(parent)
+        assert f.roots == [4]
+        assert f.children[2] == [0, 1]
+        assert f.children[4] == [2, 3]
+
+    def test_subtree_sizes(self):
+        parent = np.array([2, 2, 4, 4, -1], dtype=np.int64)
+        f = EliminationForest(parent)
+        np.testing.assert_array_equal(f.subtree_sizes(), [1, 1, 3, 1, 5])
+
+    def test_depth(self):
+        parent = np.array([2, 2, 4, 4, -1], dtype=np.int64)
+        f = EliminationForest(parent)
+        np.testing.assert_array_equal(f.depth(), [2, 2, 1, 1, 0])
+
+    def test_topological_order_parents_first(self):
+        parent = np.array([2, 2, 4, 4, -1], dtype=np.int64)
+        f = EliminationForest(parent)
+        order = f.topological_order()
+        pos = {v: i for i, v in enumerate(order)}
+        for j in range(5):
+            if parent[j] >= 0:
+                assert pos[int(parent[j])] < pos[j]
+
+
+class TestPostorder:
+    def test_postorder_chain(self):
+        parent = np.array([1, 2, 3, -1], dtype=np.int64)
+        np.testing.assert_array_equal(postorder(parent), [0, 1, 2, 3])
+
+    def test_postorder_visits_children_first(self):
+        parent = np.array([4, 4, 4, 4, -1], dtype=np.int64)
+        post = postorder(parent)
+        assert post[-1] == 4
+
+    def test_relabel_is_postordered(self):
+        parent = np.array([4, 0, 4, 2, -1, 4], dtype=np.int64)
+        post = postorder(parent)
+        new_parent = relabel_parent(parent, post)
+        assert is_postordered(new_parent)
+
+    def test_forest_postorder(self):
+        parent = np.array([-1, 0, -1, 2], dtype=np.int64)
+        post = postorder(parent)
+        assert sorted(post.tolist()) == [0, 1, 2, 3]
+        new_parent = relabel_parent(parent, post)
+        assert is_postordered(new_parent)
+
+    def test_is_postordered_detects_violation(self):
+        assert not is_postordered(np.array([-1, 0], dtype=np.int64))
+        assert is_postordered(np.array([1, -1], dtype=np.int64))
+
+    def test_first_descendants_contiguous_subtrees(self):
+        parent = np.array([2, 2, 6, 5, 5, 6, -1], dtype=np.int64)
+        assert is_postordered(parent)
+        first = first_descendants(parent)
+        np.testing.assert_array_equal(first, [0, 1, 0, 3, 4, 3, 0])
+
+    def test_children_lists(self):
+        ch = children_lists(np.array([2, 2, -1], dtype=np.int64))
+        assert ch == [[], [], [0, 1]]
+
+
+class TestColumnPatterns:
+    def test_requires_postorder(self):
+        lower = CSCMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            column_patterns(lower, np.array([-1, 0, -1], dtype=np.int64))
+
+    def test_matches_dense_cholesky_structure(self):
+        lower = grid2d_laplacian(5)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        perm = amd_order(g)
+        sym = analyze(lower, perm, AnalyzeOptions(amalgamate=False))
+        full = full_symmetric_from_lower(sym.permuted_lower).to_dense()
+        chol = scipy.linalg.cholesky(full, lower=True)
+        chol[np.abs(chol) < 1e-12] = 0.0
+        patterns, _, _ = symbolic_cholesky(sym.permuted_lower, sym.parent)
+        for j in range(lower.shape[0]):
+            dense_rows = np.flatnonzero(chol[:, j])
+            np.testing.assert_array_equal(patterns[j], dense_rows)
+
+    def test_counts_sum(self):
+        lower = grid2d_laplacian(4)
+        parent = etree(lower)
+        post = postorder(parent)
+        a2 = permute_symmetric_lower(lower, post)
+        p2 = relabel_parent(parent, post)
+        patterns, counts, nnz = symbolic_cholesky(a2, p2)
+        assert nnz == sum(p.size for p in patterns)
+        assert np.all(counts >= 1)
+
+
+class TestSupernodes:
+    def test_dense_matrix_single_supernode(self):
+        n = 5
+        d = np.ones((n, n)) + n * np.eye(n)
+        lower = CSCMatrix.from_dense(np.tril(d))
+        parent = etree(lower)
+        patterns, counts, _ = symbolic_cholesky(lower, parent)
+        part = fundamental_supernodes(parent, counts)
+        assert part.n_supernodes == 1
+        assert part.width(0) == n
+
+    def test_diagonal_matrix_all_singletons(self):
+        lower = CSCMatrix.from_dense(np.eye(4) * 2)
+        parent = etree(lower)
+        _, counts, _ = symbolic_cholesky(lower, parent)
+        part = fundamental_supernodes(parent, counts)
+        assert part.n_supernodes == 4
+
+    def test_col_to_sn_consistent(self):
+        lower = grid2d_laplacian(5)
+        sym = analyze(
+            lower,
+            nested_dissection_order(AdjacencyGraph.from_symmetric_lower(lower)),
+        )
+        part = sym.partition
+        for s in range(part.n_supernodes):
+            for c in part.columns(s):
+                assert part.col_to_sn[c] == s
+
+    def test_supernode_rows_prefix_is_own_columns(self):
+        lower = grid3d_laplacian(4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, nested_dissection_order(g))
+        for s in range(sym.n_supernodes):
+            w = sym.supernode_width(s)
+            np.testing.assert_array_equal(
+                sym.sn_rows[s][:w], sym.partition.columns(s)
+            )
+
+    def test_amalgamation_reduces_supernode_count(self):
+        lower = grid3d_laplacian(5)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        perm = nested_dissection_order(g)
+        plain = analyze(lower, perm, AnalyzeOptions(amalgamate=False))
+        merged = analyze(lower, perm, AnalyzeOptions(amalgamate=True))
+        assert merged.n_supernodes <= plain.n_supernodes
+        assert merged.nnz_stored >= plain.nnz_factor
+
+    def test_amalgamation_bounded_overhead(self):
+        lower = grid3d_laplacian(5)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        perm = nested_dissection_order(g)
+        merged = analyze(lower, perm, AnalyzeOptions(amalgamate=True))
+        assert merged.nnz_stored <= 2.0 * merged.nnz_factor
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("nx", [3, 5])
+    def test_basic_invariants(self, nx):
+        lower = grid2d_laplacian(nx)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, amd_order(g))
+        n = lower.shape[0]
+        assert sym.n == n
+        assert is_postordered(sym.parent)
+        # Supernode columns partition [0, n).
+        cols = np.concatenate(
+            [sym.partition.columns(s) for s in range(sym.n_supernodes)]
+        )
+        np.testing.assert_array_equal(np.sort(cols), np.arange(n))
+        # Assembly-tree parents come after children.
+        for s in range(sym.n_supernodes):
+            p = int(sym.sn_parent[s])
+            if p >= 0:
+                assert p > s
+
+    def test_update_rows_in_parent(self):
+        lower = grid3d_laplacian(4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, nested_dissection_order(g))
+        for s in range(sym.n_supernodes):
+            p = int(sym.sn_parent[s])
+            if p < 0:
+                continue
+            w = sym.supernode_width(s)
+            update = sym.sn_rows[s][w:]
+            assert np.all(np.isin(update, sym.sn_rows[p]))
+
+    def test_flops_monotone_in_problem_size(self):
+        g4 = grid2d_laplacian(4)
+        g6 = grid2d_laplacian(6)
+        s4 = analyze(g4, amd_order(AdjacencyGraph.from_symmetric_lower(g4)))
+        s6 = analyze(g6, amd_order(AdjacencyGraph.from_symmetric_lower(g6)))
+        assert s6.factor_flops > s4.factor_flops
+        assert s6.solve_flops > s4.solve_flops
+
+    def test_supernode_flops_total_at_least_column_flops(self):
+        lower = grid3d_laplacian(4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, nested_dissection_order(g))
+        sn_total = sum(sym.supernode_flops(s) for s in range(sym.n_supernodes))
+        assert sn_total >= sym.factor_flops  # amalgamation only adds work
+
+    def test_dense_partial_factor_flops_full_elimination(self):
+        # Eliminating all m pivots of an m×m front = dense Cholesky ≈ m³/3
+        m = 30
+        f = dense_partial_factor_flops(m, m)
+        assert abs(f - m**3 / 3) / (m**3 / 3) < 0.15
+
+    def test_perm_roundtrip(self):
+        lower = grid2d_laplacian(4)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, amd_order(g))
+        np.testing.assert_array_equal(np.sort(sym.perm), np.arange(16))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 3000))
+    def test_property_random_spd(self, n, seed):
+        lower = random_spd_sparse(n, avg_degree=3, seed=seed)
+        g = AdjacencyGraph.from_symmetric_lower(lower)
+        sym = analyze(lower, amd_order(g))
+        assert is_postordered(sym.parent)
+        assert sym.nnz_factor >= lower.nnz
+        assert sym.nnz_stored >= sym.nnz_factor
+        for s in range(sym.n_supernodes):
+            w = sym.supernode_width(s)
+            np.testing.assert_array_equal(
+                sym.sn_rows[s][:w], sym.partition.columns(s)
+            )
