@@ -11,7 +11,13 @@ from repro.analysis.metrics import (
     scaling_series,
     load_imbalance,
 )
-from repro.analysis.report import render_scaling_table, render_series
+from repro.analysis.report import (
+    LatencySummary,
+    render_counter_table,
+    render_latency_table,
+    render_scaling_table,
+    render_series,
+)
 from repro.analysis.model import (
     predict_factor_time,
     predict_factor_time_from_plan,
@@ -35,6 +41,9 @@ __all__ = [
     "load_imbalance",
     "render_scaling_table",
     "render_series",
+    "LatencySummary",
+    "render_counter_table",
+    "render_latency_table",
     "predict_factor_time",
     "predict_factor_time_from_plan",
     "predict_scaling",

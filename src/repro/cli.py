@@ -6,7 +6,9 @@ Subcommands mirror the workflow of the library:
 * ``solve``    — factor and solve, print accuracy diagnostics;
 * ``scale``    — simulated strong-scaling sweep on a machine model;
 * ``compare``  — baseline solver comparison at given rank counts;
-* ``suite``    — print the paper-suite inventory table (T1).
+* ``suite``    — print the paper-suite inventory table (T1);
+* ``serve-sim``— replay a synthetic transient-FE request trace through the
+  serving layer (``repro.service``) and print its metrics report.
 
 Problems come from ``--mesh KIND:SIZE`` (generators) or ``--matrix FILE``
 (Matrix Market). Run ``python -m repro.cli <cmd> --help`` for options.
@@ -213,6 +215,75 @@ def cmd_suite(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    """Drive the serving layer with a synthetic transient-analysis trace:
+    repeated numeric refactorizations on one base pattern (values drift per
+    step, the nonlinear/transient workflow), interleaved with a handful of
+    fresh patterns that must miss the analysis cache."""
+    from repro.core import ParallelConfig
+    from repro.service import COMPLETED, ServiceConfig, SolverService
+    from repro.util.timing import WallTimer
+
+    parallel = None
+    if args.ranks_served > 0:
+        parallel = ParallelConfig(
+            n_ranks=args.ranks_served,
+            machine=get_machine(args.machine),
+            nb=args.nb,
+        )
+    service = SolverService(
+        ServiceConfig(
+            cache_enabled=not args.no_cache,
+            coalesce=not args.no_coalesce,
+            ordering=args.ordering,
+            parallel=parallel,
+        )
+    )
+    if not args.mesh and not args.matrix:
+        args.mesh = "plate:8"
+    base = build_matrix(args)
+    n = base.shape[0]
+    rng = make_rng(args.seed)
+    fresh = [
+        random_spd_sparse(24 + 8 * i, avg_degree=5, seed=args.seed + i)
+        for i in range(args.new_patterns)
+    ]
+    results = {}
+    with WallTimer() as t:
+        for step in range(args.steps):
+            scaled = CSCMatrix(
+                base.shape,
+                base.indptr,
+                base.indices,
+                base.data * (1.0 + 0.5 * step / max(args.steps, 1)),
+                _skip_check=True,
+            )
+            service.submit(
+                scaled,
+                rng.standard_normal(n),
+                method=args.method,
+                priority=0,
+            )
+            if args.new_patterns and step % max(args.steps // args.new_patterns, 1) == 1:
+                i = min(step * args.new_patterns // args.steps, args.new_patterns - 1)
+                service.submit(
+                    fresh[i],
+                    rng.standard_normal(fresh[i].shape[0]),
+                    priority=1,
+                )
+            results.update(service.drain())
+    completed = sum(1 for r in results.values() if r.status == COMPLETED)
+    print(service.metrics_report())
+    print()
+    served = service.metrics.counter("jobs_completed")
+    print(
+        f"served {served} jobs in {t.elapsed:.3f} s "
+        f"({served / max(t.elapsed, 1e-9):.1f} jobs/s, "
+        f"cache {'on' if not args.no_cache else 'off'})"
+    )
+    return 0 if completed else 1
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mesh", help="generator problem, e.g. cube:12")
     p.add_argument("--matrix", help="Matrix Market file")
@@ -261,6 +332,38 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("suite", help="print the paper-suite inventory")
     p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser(
+        "serve-sim",
+        help="replay a synthetic transient-FE trace through repro.service",
+    )
+    _add_common(p)
+    p.add_argument(
+        "--steps",
+        type=int,
+        default=20,
+        help="refactor requests on the base pattern (values drift per step)",
+    )
+    p.add_argument(
+        "--new-patterns",
+        type=int,
+        default=3,
+        help="interleaved fresh-pattern requests (analysis-cache misses)",
+    )
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--no-coalesce", action="store_true")
+    p.add_argument(
+        "--ranks-served",
+        type=int,
+        default=0,
+        metavar="P",
+        help="execute on the simulated parallel machine with P ranks "
+        "(0 = sequential host engine)",
+    )
+    p.add_argument("--machine", default="generic-cluster")
+    p.add_argument("--nb", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_serve_sim)
     return parser
 
 

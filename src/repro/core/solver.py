@@ -42,9 +42,37 @@ from repro.parallel.plan import PlanOptions
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import sym_matvec_lower, tril, is_structurally_symmetric
 from repro.symbolic.analyze import AnalyzeOptions, SymbolicFactor, analyze
-from repro.util.errors import ReproError, ShapeError
+from repro.util.errors import PatternMismatchError, ReproError, ShapeError
 from repro.util.timing import WallTimer
 from repro.util.validation import as_float_array
+
+
+def as_symmetric_lower(a: CSCMatrix) -> CSCMatrix:
+    """Reduce *a* to the lower triangle of a symmetric matrix.
+
+    Accepts either the lower triangle directly or a full symmetric CSC
+    matrix (verified structurally and numerically, then reduced) — the
+    input convention of :class:`SparseSolver` and its ``refactor`` path.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError("matrix must be square")
+    lower = tril(a)
+    if lower.nnz != a.nnz:
+        # Caller passed a full symmetric matrix: verify and reduce.
+        if not is_structurally_symmetric(a):
+            raise ShapeError(
+                "matrix is neither lower-triangular nor structurally "
+                "symmetric"
+            )
+        from repro.sparse.convert import csc_to_csr
+
+        t = csc_to_csr(a)  # CSR of A == CSC layout of A^T
+        if not np.allclose(t.data, a.data, rtol=1e-12, atol=0):
+            raise ShapeError(
+                "matrix is structurally but not numerically symmetric; "
+                "symmetrize it first (repro.sparse.symmetrize)"
+            )
+    return lower
 
 
 @dataclass(frozen=True)
@@ -136,27 +164,9 @@ class SparseSolver:
         analyze_options: AnalyzeOptions | None = None,
         pivot_perturbation: float | None = None,
     ):
-        if a.shape[0] != a.shape[1]:
-            raise ShapeError("matrix must be square")
         if method not in ("cholesky", "ldlt"):
             raise ShapeError(f"unknown method {method!r}")
-        lower = tril(a)
-        if lower.nnz != a.nnz:
-            # Caller passed a full symmetric matrix: verify and reduce.
-            if not is_structurally_symmetric(a):
-                raise ShapeError(
-                    "matrix is neither lower-triangular nor structurally "
-                    "symmetric"
-                )
-            from repro.sparse.convert import csc_to_csr
-
-            t = csc_to_csr(a)  # CSR of A == CSC layout of A^T
-            if not np.allclose(t.data, a.data, rtol=1e-12, atol=0):
-                raise ShapeError(
-                    "matrix is structurally but not numerically symmetric; "
-                    "symmetrize it first (repro.sparse.symmetrize)"
-                )
-        self.lower = lower
+        self.lower = as_symmetric_lower(a)
         self.method = method
         self.ordering = ordering
         self.analyze_options = analyze_options
@@ -279,32 +289,50 @@ class SparseSolver:
 
     # -- convenience ---------------------------------------------------------
 
-    def refactor(self, new_lower: CSCMatrix) -> NumericFactor:
+    def update_values(self, new_a: CSCMatrix) -> None:
+        """Install new numeric values on the *same* pattern, no factorization.
+
+        Accepts a full symmetric or lower-triangular matrix, exactly like
+        the constructor. The existing analysis (ordering + symbolic) is
+        kept; any previously computed numeric factor is invalidated. Both
+        :meth:`refactor` and the simulated-parallel path (where the numeric
+        phase runs on the distributed engine, not the host) build on this.
+        """
+        if self.sym is None:
+            raise ReproError("call analyze() (or factor()) before refactor()")
+        lower = as_symmetric_lower(new_a)
+        if lower.shape != self.lower.shape:
+            raise PatternMismatchError(
+                "refactor requires the same matrix dimension; got "
+                f"{lower.shape}, analyzed {self.lower.shape}"
+            )
+        if not (
+            np.array_equal(lower.indptr, self.lower.indptr)
+            and np.array_equal(lower.indices, self.lower.indices)
+        ):
+            raise PatternMismatchError(
+                "refactor requires the same sparsity pattern; run a new "
+                "SparseSolver (or re-analyze) for a different structure"
+            )
+        self.lower = lower
+        # Permute the new values through the existing symbolic ordering.
+        from repro.sparse.permute import permute_symmetric_lower
+
+        self.sym.permuted_lower = permute_symmetric_lower(
+            lower, self.sym.perm
+        )
+        self.numeric = None
+
+    def refactor(self, new_a: CSCMatrix) -> NumericFactor:
         """Numeric re-factorization with new values on the *same* pattern.
 
         The workhorse of nonlinear/transient workflows (the paper's
         sheet-forming runs factor thousands of matrices with one analysis):
         reuses the symbolic factorization, only the numeric phase reruns.
+        Raises :class:`~repro.util.errors.PatternMismatchError` when *new_a*
+        has a different structure.
         """
-        if self.sym is None:
-            raise ReproError("call analyze() (or factor()) before refactor()")
-        if new_lower.shape != self.lower.shape:
-            raise ShapeError("refactor requires the same matrix dimension")
-        if not (
-            np.array_equal(new_lower.indptr, self.lower.indptr)
-            and np.array_equal(new_lower.indices, self.lower.indices)
-        ):
-            raise ShapeError(
-                "refactor requires the same sparsity pattern; run a new "
-                "SparseSolver for a different structure"
-            )
-        self.lower = new_lower
-        # Permute the new values through the existing symbolic ordering.
-        from repro.sparse.permute import permute_symmetric_lower
-
-        self.sym.permuted_lower = permute_symmetric_lower(
-            new_lower, self.sym.perm
-        )
+        self.update_values(new_a)
         self.numeric = multifrontal_factor(
             self.sym,
             method=self.method,

@@ -150,13 +150,23 @@ def simulate_factorization(
     method: str = "cholesky",
     threads_per_rank: int = 1,
     trace: bool = False,
+    plan: FactorPlan | None = None,
 ) -> ParallelFactorResult:
     """Run the distributed factorization on the simulated machine.
 
     With ``trace=True`` the result's ``sim.trace`` carries the per-rank
     event timeline (see :mod:`repro.analysis.tracing`).
+
+    A prebuilt *plan* (for this *sym* and *n_ranks*) skips plan
+    construction — the plan is purely structural, so serving layers reuse
+    it across numeric re-factorizations of the same pattern.
     """
-    plan = FactorPlan(sym, n_ranks, options)
+    if plan is None:
+        plan = FactorPlan(sym, n_ranks, options)
+    elif plan.sym is not sym or plan.n_ranks != n_ranks:
+        raise ShapeError(
+            "prebuilt plan does not match this symbolic factor / rank count"
+        )
     program = make_factor_program(plan, method=method)
     sim = Simulator(
         machine, n_ranks, threads_per_rank=threads_per_rank, trace=trace

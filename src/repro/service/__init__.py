@@ -1,0 +1,61 @@
+"""Serving layer: `SparseSolver` as a servable engine.
+
+The paper's application workflow — nonlinear/transient finite-element
+runs — is repeated numeric factorization on a fixed sparsity pattern.
+This package turns that into a request-level service:
+
+* :mod:`repro.service.fingerprint` — canonical sparsity-pattern
+  fingerprints (the analysis-cache key);
+* :mod:`repro.service.cache` — bounded LRU cache of completed analyses
+  (ordering + symbolic + parallel plans) with hit/miss/eviction stats;
+* :mod:`repro.service.jobs` / :mod:`repro.service.queue` — the job model
+  and the synchronous dispatch loop with priority ordering, deadlines,
+  and same-pattern request coalescing into blocked multi-RHS solves;
+* :mod:`repro.service.executor` — the worker: cached-analysis reuse via
+  the ``refactor`` path, per-job timeouts, bounded retry with backoff,
+  graceful degradation from the parallel driver to the sequential engine;
+* :mod:`repro.service.metrics` — counters + latency histograms and the
+  text report (``repro.cli serve-sim`` prints it).
+"""
+
+from repro.service.cache import AnalysisCache, AnalysisEntry, CacheStats
+from repro.service.executor import Executor, ExecutorOptions
+from repro.service.fingerprint import (
+    PatternFingerprint,
+    pattern_fingerprint,
+    values_digest,
+)
+from repro.service.jobs import (
+    COMPLETED,
+    EXPIRED,
+    FAILED,
+    PENDING,
+    TIMED_OUT,
+    JobResult,
+    SolveJob,
+)
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.queue import JobQueue, ServiceConfig, SolverService
+
+__all__ = [
+    "AnalysisCache",
+    "AnalysisEntry",
+    "CacheStats",
+    "Executor",
+    "ExecutorOptions",
+    "PatternFingerprint",
+    "pattern_fingerprint",
+    "values_digest",
+    "COMPLETED",
+    "EXPIRED",
+    "FAILED",
+    "PENDING",
+    "TIMED_OUT",
+    "JobResult",
+    "SolveJob",
+    "LatencyHistogram",
+    "ServiceMetrics",
+    "JobQueue",
+    "ServiceConfig",
+    "SolverService",
+]

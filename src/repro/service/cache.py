@@ -1,0 +1,93 @@
+"""Bounded LRU cache of completed analyses, keyed by pattern fingerprint.
+
+A cache entry owns a :class:`~repro.core.SparseSolver` whose analyze phase
+has run (ordering + symbolic factorization) plus the parallel
+:class:`~repro.parallel.plan.FactorPlan` objects derived from it, one per
+distinct parallel configuration. Hits skip straight to the numeric phase
+through the solver's ``update_values``/``refactor`` path; the plan reuse
+additionally skips plan construction for simulated-parallel execution.
+
+The cache is a plain synchronous structure (the dispatch loop is
+synchronous); eviction is strict LRU on *use*, and every transition is
+counted so the metrics report can show hit rate and eviction pressure.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.core.solver import SparseSolver
+from repro.parallel.plan import FactorPlan
+from repro.service.fingerprint import PatternFingerprint
+from repro.util.errors import ShapeError
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`AnalysisCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class AnalysisEntry:
+    """One cached analysis: an analyzed solver + its derived parallel plans."""
+
+    fingerprint: PatternFingerprint
+    solver: SparseSolver
+    #: (n_ranks, nb, policy, min_dist_width) -> structural factor plan
+    plans: dict[tuple, FactorPlan] = field(default_factory=dict)
+    #: wall seconds the original analyze phase cost (== seconds a hit saves)
+    analyze_seconds: float = 0.0
+    hits: int = 0
+
+
+class AnalysisCache:
+    """Bounded LRU map ``PatternFingerprint -> AnalysisEntry``."""
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ShapeError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: OrderedDict[tuple, AnalysisEntry] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fp: PatternFingerprint) -> bool:
+        return fp.key in self._entries
+
+    def get(self, fp: PatternFingerprint) -> AnalysisEntry | None:
+        """Look up an analysis; counts a hit or miss and refreshes LRU."""
+        entry = self._entries.get(fp.key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(fp.key)
+        self.stats.hits += 1
+        entry.hits += 1
+        return entry
+
+    def put(self, entry: AnalysisEntry) -> AnalysisEntry:
+        """Insert (or replace) an analysis, evicting the LRU tail if full."""
+        key = entry.fingerprint.key
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.inserts += 1
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,265 @@
+"""The worker: executes one coalesced batch of solve jobs.
+
+Execution pipeline per batch (all jobs in a batch share pattern, values,
+and method):
+
+1. **analysis** — cache lookup by pattern fingerprint; a hit installs the
+   new values on the cached analysis (``SparseSolver.update_values``, the
+   refactor path) and skips ordering + symbolic + plan construction
+   entirely; a miss runs ``analyze()`` and populates the cache;
+2. **numeric factor + solve** — on the sequential host engine, or on the
+   simulated parallel machine when a :class:`ParallelConfig` is set
+   (reusing the cached structural :class:`FactorPlan`);
+3. **resilience** — a parallel-path failure *degrades* the batch to the
+   sequential engine (counted, not retried); sequential failures are
+   retried with exponential backoff up to the configured limit; the
+   per-job wall budget is checked between attempts (cooperative timeout).
+
+The executor is synchronous and deterministic given a deterministic clock;
+tests inject fake ``clock``/``sleep`` callables.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import ParallelConfig, SparseSolver
+from repro.mf.refine import iterative_refinement
+from repro.mf.solve_phase import solve as mf_solve
+from repro.parallel.driver import simulate_factorization, simulate_solve
+from repro.parallel.plan import FactorPlan
+from repro.service.cache import AnalysisCache, AnalysisEntry
+from repro.service.jobs import (
+    COMPLETED,
+    FAILED,
+    TIMED_OUT,
+    JobResult,
+    SolveJob,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.sparse.ops import sym_matvec_lower
+from repro.util.errors import ReproError
+from repro.util.timing import WallTimer
+
+
+@dataclass(frozen=True)
+class ExecutorOptions:
+    """Execution policy of the worker."""
+
+    #: fill-reducing ordering used for fresh analyses
+    ordering: str = "nd"
+    #: run factor+solve on the simulated parallel machine (None = host)
+    parallel: ParallelConfig | None = None
+    #: additional attempts after the first failure (sequential engine)
+    max_retries: int = 2
+    #: base backoff in seconds; doubles per retry
+    retry_backoff: float = 0.01
+    #: iterative refinement on the sequential solve path
+    refine: bool = False
+    use_cache: bool = True
+
+
+class Executor:
+    """Runs batches against the solver engines with retry + degradation."""
+
+    def __init__(
+        self,
+        cache: AnalysisCache,
+        metrics: ServiceMetrics,
+        options: ExecutorOptions | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.cache = cache
+        self.metrics = metrics
+        self.options = options or ExecutorOptions()
+        self._clock = clock
+        self._sleep = sleep
+
+    # -- batch entry point ---------------------------------------------------
+
+    def execute(self, batch: list[SolveJob]) -> list[JobResult]:
+        """Execute a coalesced batch; one result per job, same order."""
+        t_start = self._clock()
+        job0 = batch[0]
+        b_block = np.hstack([job.b for job in batch])
+
+        try:
+            entry, cache_hit, timings = self._prepare(job0)
+        except ReproError as exc:
+            # Analysis is deterministic: retrying it cannot help.
+            return self._failures(batch, FAILED, exc, 0, False)
+
+        budgets = [j.timeout for j in batch if j.timeout is not None]
+        budget = min(budgets) if budgets else None
+        engine = "parallel" if self.options.parallel is not None else "sequential"
+        attempts = 0
+        degraded = False
+        while True:
+            try:
+                x, residuals = self._run(
+                    engine, entry, job0.method, b_block, timings
+                )
+                break
+            except ReproError as exc:
+                if engine == "parallel":
+                    # A failing parallel plan/driver will fail again:
+                    # degrade to the sequential engine instead of retrying.
+                    engine = "sequential"
+                    degraded = True
+                    self.metrics.inc("degradations")
+                    continue
+                if attempts >= self.options.max_retries:
+                    return self._failures(batch, FAILED, exc, attempts, degraded)
+                attempts += 1
+                self.metrics.inc("retries")
+                self._sleep(self.options.retry_backoff * 2 ** (attempts - 1))
+                if budget is not None and self._clock() - t_start > budget:
+                    return self._failures(
+                        batch, TIMED_OUT, exc, attempts, degraded
+                    )
+
+        timings["job_total"] = self._clock() - t_start
+        results = []
+        col = 0
+        for job in batch:
+            xj = x[:, col: col + job.n_rhs]
+            rj = float(np.max(residuals[col: col + job.n_rhs]))
+            col += job.n_rhs
+            results.append(
+                JobResult(
+                    job_id=job.job_id,
+                    status=COMPLETED,
+                    x=xj[:, 0] if job.squeeze else xj,
+                    residual=rj,
+                    retries=attempts,
+                    degraded=degraded,
+                    cache_hit=cache_hit,
+                    batched_rhs=int(b_block.shape[1]),
+                    timings=dict(timings),
+                )
+            )
+        return results
+
+    # -- phases --------------------------------------------------------------
+
+    def _prepare(self, job: SolveJob) -> tuple[AnalysisEntry, bool, dict]:
+        """Resolve the analysis for *job* (cache hit or fresh analyze)."""
+        timings: dict[str, float] = {}
+        entry = self.cache.get(job.fingerprint) if self.options.use_cache else None
+        if entry is not None:
+            with WallTimer() as t:
+                entry.solver.method = job.method
+                entry.solver.update_values(job.lower)
+            timings["values_update"] = t.elapsed
+            return entry, True, timings
+        with WallTimer() as t:
+            solver = SparseSolver(
+                job.lower, method=job.method, ordering=self.options.ordering
+            )
+            solver.analyze()
+        timings["analyze"] = t.elapsed
+        entry = AnalysisEntry(
+            fingerprint=job.fingerprint,
+            solver=solver,
+            analyze_seconds=t.elapsed,
+        )
+        if self.options.use_cache:
+            self.cache.put(entry)
+        return entry, False, timings
+
+    def _run(
+        self,
+        engine: str,
+        entry: AnalysisEntry,
+        method: str,
+        b_block: np.ndarray,
+        timings: dict,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Numeric factor + blocked solve on the chosen engine."""
+        if engine == "parallel":
+            x = self._run_parallel(entry, method, b_block, timings)
+        else:
+            x = self._run_sequential(entry, b_block, timings)
+        lower = entry.solver.lower
+        residuals = np.empty(b_block.shape[1])
+        for j in range(b_block.shape[1]):
+            r = b_block[:, j] - sym_matvec_lower(lower, x[:, j])
+            denom = max(float(np.max(np.abs(b_block[:, j]))), 1e-300)
+            residuals[j] = float(np.max(np.abs(r))) / denom
+        return x, residuals
+
+    def _run_sequential(
+        self, entry: AnalysisEntry, b_block: np.ndarray, timings: dict
+    ) -> np.ndarray:
+        solver = entry.solver
+        with WallTimer() as t:
+            solver.factor()
+        timings["factor"] = timings.get("factor", 0.0) + t.elapsed
+        with WallTimer() as t:
+            x = np.empty_like(b_block)
+            for j in range(b_block.shape[1]):
+                if self.options.refine:
+                    x[:, j] = iterative_refinement(
+                        solver.numeric, solver.lower, b_block[:, j]
+                    ).x
+                else:
+                    x[:, j] = mf_solve(solver.numeric, b_block[:, j])
+        timings["solve"] = timings.get("solve", 0.0) + t.elapsed
+        return x
+
+    def _run_parallel(
+        self, entry: AnalysisEntry, method: str, b_block: np.ndarray, timings: dict
+    ) -> np.ndarray:
+        cfg = self.options.parallel
+        key = (cfg.n_ranks, cfg.nb, cfg.policy)
+        plan = entry.plans.get(key)
+        if plan is None:
+            with WallTimer() as t:
+                plan = FactorPlan(
+                    entry.solver.sym, cfg.n_ranks, cfg.plan_options()
+                )
+            timings["plan"] = timings.get("plan", 0.0) + t.elapsed
+            entry.plans[key] = plan
+        with WallTimer() as t:
+            fres = simulate_factorization(
+                entry.solver.sym,
+                cfg.n_ranks,
+                cfg.machine,
+                cfg.plan_options(),
+                method=method,
+                threads_per_rank=cfg.threads_per_rank,
+                plan=plan,
+            )
+        timings["factor"] = timings.get("factor", 0.0) + t.elapsed
+        with WallTimer() as t:
+            # Blocked (n, k) distributed solve: one latency-bound sweep
+            # amortized over every coalesced right-hand side.
+            sres = simulate_solve(fres, b_block)
+        timings["solve"] = timings.get("solve", 0.0) + t.elapsed
+        x = sres.x
+        return x if x.ndim == 2 else x[:, None]
+
+    # -- failure shaping -----------------------------------------------------
+
+    def _failures(
+        self,
+        batch: list[SolveJob],
+        status: str,
+        exc: Exception,
+        attempts: int,
+        degraded: bool,
+    ) -> list[JobResult]:
+        return [
+            JobResult(
+                job_id=job.job_id,
+                status=status,
+                retries=attempts,
+                degraded=degraded,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            for job in batch
+        ]

@@ -1,0 +1,82 @@
+"""Canonical sparsity-pattern fingerprints — the analysis-cache key.
+
+The serving layer amortizes the analyze phase (ordering + symbolic +
+parallel plan) across requests that share a sparsity pattern. The cache key
+must therefore identify *exactly* the set of patterns an analysis is valid
+for: two matrices with equal fingerprints are guaranteed to have identical
+lower-triangle CSC structure, so a cached analysis applies verbatim via the
+``refactor()`` value-update path.
+
+Invariance contract (property-tested in ``tests/test_service.py``):
+
+* **value changes** — invariant: only ``(n, indptr, indices)`` are hashed,
+  never ``data``;
+* **representation** — invariant under full-symmetric vs. lower-triangular
+  storage: the input is canonicalized to its lower triangle first (the same
+  reduction :class:`repro.core.SparseSolver` applies);
+* **symmetric permutations** — *not* invariant, by design. ``P A Pᵀ``
+  is a different pattern requiring its own analysis (the ordering and
+  elimination tree change), so permuted copies must miss the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import tril
+
+
+@dataclass(frozen=True)
+class PatternFingerprint:
+    """Identity of one lower-triangular sparsity pattern."""
+
+    n: int
+    nnz: int
+    #: sha256 over (shape, indptr, indices) of the canonical lower triangle
+    digest: str
+
+    @property
+    def key(self) -> tuple[int, int, str]:
+        return (self.n, self.nnz, self.digest)
+
+    def __str__(self) -> str:  # compact form for logs / metrics reports
+        return f"n={self.n} nnz={self.nnz} {self.digest[:12]}"
+
+
+def _index_bytes(arr: np.ndarray) -> bytes:
+    """Deterministic byte view of an index array (fixed dtype + layout)."""
+    return np.ascontiguousarray(arr, dtype=np.int64).tobytes()
+
+
+def pattern_fingerprint(a: CSCMatrix) -> PatternFingerprint:
+    """Fingerprint the sparsity pattern of *a*.
+
+    *a* may be a full symmetric matrix or its lower triangle; both map to
+    the same fingerprint (the structure is canonicalized to the lower
+    triangle before hashing). Values are ignored entirely.
+    """
+    lower = tril(a)
+    h = hashlib.sha256()
+    h.update(f"{lower.shape[0]}x{lower.shape[1]};".encode())
+    h.update(_index_bytes(lower.indptr))
+    h.update(_index_bytes(lower.indices))
+    return PatternFingerprint(
+        n=lower.shape[0], nnz=lower.nnz, digest=h.hexdigest()
+    )
+
+
+def values_digest(a: CSCMatrix) -> str:
+    """Digest of the *numeric values* of the canonical lower triangle.
+
+    Used by the request queue to coalesce jobs that share both pattern and
+    values into one blocked multi-RHS solve — jobs with equal pattern but
+    different values still share the cached analysis, just not a factor.
+    """
+    lower = tril(a)
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(lower.data, dtype=np.float64).tobytes())
+    return h.hexdigest()

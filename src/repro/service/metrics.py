@@ -1,0 +1,95 @@
+"""Service observability: counters and latency histograms + text report.
+
+Counters track discrete events (jobs submitted/completed/failed, cache
+hits, retries, degradations, batches); histograms track per-phase wall
+time (queue wait, analyze, plan, factor, solve, end-to-end). The report is
+plain text in the repo's table format, rendered through
+:mod:`repro.analysis.report` so service output matches the rest of the
+measurement instrumentation.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections import defaultdict
+
+from repro.analysis.report import (
+    LatencySummary,
+    render_counter_table,
+    render_latency_table,
+)
+from repro.service.cache import CacheStats
+from repro.util.tables import format_table
+
+
+class LatencyHistogram:
+    """All-sample latency recorder (seconds) with percentile summaries."""
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        insort(self._sorted, float(seconds))
+        self.total += float(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    def summary(self) -> LatencySummary:
+        return LatencySummary(
+            count=self.count,
+            total=self.total,
+            min=self._sorted[0] if self._sorted else 0.0,
+            max=self._sorted[-1] if self._sorted else 0.0,
+            sorted_samples=tuple(self._sorted),
+        )
+
+
+class ServiceMetrics:
+    """Counter + histogram registry of one :class:`SolverService`."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.histograms: dict[str, LatencyHistogram] = {}
+
+    def inc(self, name: str, by: int = 1) -> None:
+        self.counters[name] += by
+
+    def observe(self, name: str, seconds: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def summaries(self) -> dict[str, LatencySummary]:
+        return {name: h.summary() for name, h in self.histograms.items()}
+
+    def report(self, cache_stats: CacheStats | None = None) -> str:
+        """Full plain-text metrics report (counters, cache, latencies)."""
+        parts = [render_counter_table(dict(self.counters), title="service counters")]
+        if cache_stats is not None:
+            parts.append(
+                format_table(
+                    ["hits", "misses", "hit rate", "inserts", "evictions"],
+                    [
+                        [
+                            cache_stats.hits,
+                            cache_stats.misses,
+                            round(cache_stats.hit_rate, 3),
+                            cache_stats.inserts,
+                            cache_stats.evictions,
+                        ]
+                    ],
+                    title="analysis cache",
+                )
+            )
+        if self.histograms:
+            parts.append(
+                render_latency_table(self.summaries(), title="phase latency")
+            )
+        return "\n\n".join(parts)

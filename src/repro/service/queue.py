@@ -1,0 +1,230 @@
+"""Priority queue + synchronous dispatch loop: ``SolverService``.
+
+The service is the serving layer's front door. Callers ``submit()`` solve
+requests (matrix + right-hand sides + priority/deadline/timeout) and
+``drain()`` runs the dispatch loop: take the most urgent pending job,
+coalesce every other pending job with the *same pattern and values* into
+one blocked multi-RHS solve (amortizing both the numeric factorization and
+the latency-bound solve sweeps), drop jobs whose deadline has passed, and
+hand the batch to the :class:`~repro.service.executor.Executor`.
+
+The loop is synchronous and single-worker by design — the repo's engines
+are deterministic simulations, and determinism is what makes the serving
+layer's results bit-checkable against the cold path. Sharding and async
+backends plug in behind this same interface.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.solver import ParallelConfig, as_symmetric_lower
+from repro.service.cache import AnalysisCache
+from repro.service.executor import Executor, ExecutorOptions
+from repro.service.fingerprint import pattern_fingerprint, values_digest
+from repro.service.jobs import EXPIRED, JobResult, SolveJob
+from repro.service.metrics import ServiceMetrics
+from repro.util.errors import ShapeError
+from repro.util.validation import as_float_array
+
+
+class JobQueue:
+    """Priority-ordered pending jobs (smaller priority first, FIFO ties)."""
+
+    def __init__(self) -> None:
+        self._jobs: list[tuple[int, int, SolveJob]] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def push(self, job: SolveJob) -> None:
+        self._jobs.append((job.priority, self._seq, job))
+        self._seq += 1
+
+    def pop_batch(
+        self, coalesce: bool = True, max_rhs: int | None = None
+    ) -> list[SolveJob]:
+        """Pop the most urgent job plus (optionally) every pending job
+        sharing its pattern+values+method, bounded by *max_rhs* columns."""
+        if not self._jobs:
+            return []
+        self._jobs.sort(key=lambda item: item[:2])
+        head = self._jobs[0][2]
+        key = head.batch_key()
+        batch = [head]
+        total = head.n_rhs
+        rest = []
+        for item in self._jobs[1:]:
+            job = item[2]
+            if (
+                coalesce
+                and job.batch_key() == key
+                and (max_rhs is None or total + job.n_rhs <= max_rhs)
+            ):
+                batch.append(job)
+                total += job.n_rhs
+            else:
+                rest.append(item)
+        self._jobs = rest
+        return batch
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Policy knobs of one :class:`SolverService`."""
+
+    #: analysis cache slots (distinct sparsity patterns held)
+    cache_capacity: int = 32
+    #: disable to force a cold analyze per request (benchmarks ablate this)
+    cache_enabled: bool = True
+    #: coalesce same-pattern+values requests into blocked multi-RHS solves
+    coalesce: bool = True
+    #: max right-hand-side columns per coalesced batch
+    max_batch_rhs: int = 32
+    ordering: str = "nd"
+    #: execute on the simulated parallel machine (None = sequential host)
+    parallel: ParallelConfig | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.01
+    #: iterative refinement on the sequential solve path
+    refine: bool = False
+
+    def executor_options(self) -> ExecutorOptions:
+        return ExecutorOptions(
+            ordering=self.ordering,
+            parallel=self.parallel,
+            max_retries=self.max_retries,
+            retry_backoff=self.retry_backoff,
+            refine=self.refine,
+            use_cache=self.cache_enabled,
+        )
+
+
+class SolverService:
+    """Solver-as-a-service: submit/drain with analysis reuse and batching."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ):
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = AnalysisCache(self.config.cache_capacity)
+        self.queue = JobQueue()
+        self.executor = Executor(
+            self.cache,
+            self.metrics,
+            self.config.executor_options(),
+            clock=clock,
+            sleep=sleep,
+        )
+        self.results: dict[int, JobResult] = {}
+        self._clock = clock
+        self._next_id = 0
+
+    # -- request intake ------------------------------------------------------
+
+    def submit(
+        self,
+        a,
+        b,
+        method: str = "cholesky",
+        priority: int = 0,
+        deadline: float | None = None,
+        timeout: float | None = None,
+    ) -> int:
+        """Enqueue one solve request; returns its job id.
+
+        *a* is a full symmetric or lower-triangular :class:`CSCMatrix`;
+        *b* has shape ``(n,)`` or ``(n, k)``. *deadline* is absolute on the
+        service clock (see :meth:`now`); *timeout* is a wall-second budget
+        once execution starts.
+        """
+        lower = as_symmetric_lower(a)
+        b = as_float_array(b, "b")
+        n = lower.shape[0]
+        if b.ndim > 2 or b.shape[0] != n:
+            raise ShapeError(
+                f"b must have shape ({n},) or ({n}, k); got {b.shape}"
+            )
+        squeeze = b.ndim == 1
+        job = SolveJob(
+            job_id=self._next_id,
+            lower=lower,
+            b=b[:, None] if squeeze else np.asarray(b),
+            fingerprint=pattern_fingerprint(lower),
+            values_key=values_digest(lower),
+            method=method,
+            priority=priority,
+            deadline=deadline,
+            timeout=timeout,
+            submitted_at=self._clock(),
+            squeeze=squeeze,
+        )
+        self._next_id += 1
+        self.queue.push(job)
+        self.metrics.inc("jobs_submitted")
+        return job.job_id
+
+    def now(self) -> float:
+        """Current service-clock time (the reference for deadlines)."""
+        return self._clock()
+
+    # -- dispatch loop -------------------------------------------------------
+
+    def drain(self) -> dict[int, JobResult]:
+        """Process every pending job; returns results keyed by job id."""
+        processed: dict[int, JobResult] = {}
+        while len(self.queue):
+            batch = self.queue.pop_batch(
+                coalesce=self.config.coalesce,
+                max_rhs=self.config.max_batch_rhs,
+            )
+            now = self._clock()
+            live = []
+            for job in batch:
+                if job.deadline is not None and now > job.deadline:
+                    self.metrics.inc("jobs_expired")
+                    processed[job.job_id] = JobResult(
+                        job_id=job.job_id,
+                        status=EXPIRED,
+                        queue_wait=now - job.submitted_at,
+                        error="deadline passed before dispatch",
+                    )
+                else:
+                    live.append(job)
+            if not live:
+                continue
+            self.metrics.inc("batches")
+            if len(live) > 1:
+                self.metrics.inc("coalesced_jobs", len(live) - 1)
+            for job, res in zip(live, self.executor.execute(live)):
+                res.queue_wait = now - job.submitted_at
+                self.metrics.observe("queue_wait", res.queue_wait)
+                for phase, seconds in res.timings.items():
+                    self.metrics.observe(phase, seconds)
+                self.metrics.inc(f"jobs_{res.status}")
+                if res.cache_hit:
+                    self.metrics.inc("cache_hit_jobs")
+                processed[job.job_id] = res
+        self.results.update(processed)
+        return processed
+
+    def solve(self, a, b, **kwargs) -> JobResult:
+        """Convenience: submit one request and drain the queue."""
+        job_id = self.submit(a, b, **kwargs)
+        return self.drain()[job_id]
+
+    # -- observability -------------------------------------------------------
+
+    def metrics_report(self) -> str:
+        """Plain-text metrics report (counters, cache stats, latencies)."""
+        return self.metrics.report(
+            self.cache.stats if self.config.cache_enabled else None
+        )

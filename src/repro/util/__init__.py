@@ -7,6 +7,7 @@ from repro.util.errors import (
     NotPositiveDefiniteError,
     SingularMatrixError,
     OrderingError,
+    PatternMismatchError,
     SimulationError,
 )
 from repro.util.validation import (
@@ -28,6 +29,7 @@ __all__ = [
     "NotPositiveDefiniteError",
     "SingularMatrixError",
     "OrderingError",
+    "PatternMismatchError",
     "SimulationError",
     "check_index_array",
     "check_permutation",

@@ -41,6 +41,17 @@ class OrderingError(ReproError, ValueError):
     """A fill-reducing ordering could not be computed or is invalid."""
 
 
+class PatternMismatchError(ShapeError):
+    """New numeric values were supplied for a *different* sparsity pattern
+    than the one an analysis was computed for.
+
+    Raised by :meth:`repro.core.SparseSolver.refactor` (and
+    ``update_values``). Derives from :class:`ShapeError` for backward
+    compatibility; the serving layer catches this type specifically to
+    distinguish "re-analyze under a new pattern" from a hard failure.
+    """
+
+
 class SimulationError(ReproError, RuntimeError):
     """The simulated message-passing machine reached an invalid state
     (deadlock, mismatched message, rank failure)."""

@@ -140,6 +140,41 @@ class TestCommands:
         assert rc == 2
 
 
+class TestServeSim:
+    def test_serve_sim_default(self, capsys):
+        rc = main(["serve-sim", "--steps", "6", "--new-patterns", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "analysis cache" in out and "jobs/s" in out
+
+    def test_serve_sim_no_cache(self, capsys):
+        rc = main(
+            ["serve-sim", "--steps", "4", "--new-patterns", "0", "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cache off" in out and "analysis cache" not in out
+
+    def test_serve_sim_parallel(self, capsys):
+        rc = main(
+            [
+                "serve-sim",
+                "--mesh",
+                "cube:3",
+                "--steps",
+                "3",
+                "--new-patterns",
+                "0",
+                "--ranks-served",
+                "2",
+                "--nb",
+                "8",
+            ]
+        )
+        assert rc == 0
+        assert "jobs_completed" in capsys.readouterr().out
+
+
 class TestLUCli:
     def test_convdiff_auto_lu(self, capsys):
         assert main(["solve", "--mesh", "convdiff:6"]) == 0

@@ -37,6 +37,15 @@ def test_transport_lu_runs(capsys):
     assert "cross-check" in out
 
 
+def test_solver_service_runs(capsys):
+    import solver_service
+
+    solver_service.main(steps=12, size=4, new_patterns=2)
+    out = capsys.readouterr().out
+    assert "analysis cache" in out
+    assert "hit rate" in out
+
+
 def test_capacity_planning_runs(capsys):
     import capacity_planning
 

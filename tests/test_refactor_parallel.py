@@ -1,0 +1,121 @@
+"""Refactorization + blocked multi-RHS under the *parallel* driver.
+
+The single-RHS sequential refactor path was already covered; these tests
+exercise the serving-layer workflow at the driver level: one analysis, many
+numeric factorizations on the simulated machine, blocked (n, k) solves,
+and structural-plan reuse across refactorizations."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseSolver
+from repro.gen import grid2d_laplacian, grid3d_laplacian
+from repro.machine import GENERIC_CLUSTER
+from repro.parallel import (
+    FactorPlan,
+    PlanOptions,
+    simulate_factorization,
+    simulate_solve,
+)
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import full_symmetric_from_lower, sym_matvec_lower
+from repro.util.errors import ShapeError
+from repro.util.rng import make_rng
+
+pytestmark = pytest.mark.service
+
+
+def scaled(lower, factor):
+    return CSCMatrix(
+        lower.shape, lower.indptr, lower.indices, lower.data * factor,
+        _skip_check=True,
+    )
+
+
+def max_residual(lower, b, x):
+    r = np.abs(b - np.column_stack(
+        [sym_matvec_lower(lower, x[:, j]) for j in range(x.shape[1])]
+    ))
+    return float(np.max(r))
+
+
+class TestParallelRefactorMultiRHS:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        s = SparseSolver(grid3d_laplacian(4))
+        s.analyze()
+        return s
+
+    def test_refactor_then_parallel_multirhs(self, solver):
+        """One analysis, two numeric value sets, blocked solves for both."""
+        lower = solver.lower
+        n = lower.shape[0]
+        b = make_rng(21).standard_normal((n, 3))
+
+        res1 = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        x1 = simulate_solve(res1, b).x
+
+        solver.update_values(scaled(lower, 2.0))
+        res2 = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        x2 = simulate_solve(res2, b).x
+
+        assert max_residual(solver.lower, b, x2) < 1e-9
+        # A x = b and (2A) y = b  =>  y = x / 2.
+        np.testing.assert_allclose(x2, x1 / 2.0, rtol=1e-9)
+        solver.update_values(lower)  # restore for other tests
+
+    def test_plan_reuse_across_refactorizations(self, solver):
+        """The structural plan survives numeric refactorization bit-for-bit."""
+        plan = FactorPlan(solver.sym, 4, PlanOptions(nb=8))
+        b = make_rng(22).standard_normal((solver.lower.shape[0], 2))
+
+        fresh = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8)
+        )
+        reused = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8), plan=plan
+        )
+        assert reused.plan is plan
+        np.testing.assert_array_equal(
+            fresh.to_dense_l(), reused.to_dense_l()
+        )
+
+        solver.update_values(scaled(solver.lower, 3.0))
+        refit = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8), plan=plan
+        )
+        x = simulate_solve(refit, b).x
+        assert max_residual(solver.lower, b, x) < 1e-9
+        solver.update_values(scaled(solver.lower, 1.0 / 3.0))
+
+    def test_mismatched_plan_rejected(self, solver):
+        other = SparseSolver(grid2d_laplacian(4))
+        other.analyze()
+        plan = FactorPlan(other.sym, 4, PlanOptions(nb=8))
+        with pytest.raises(ShapeError):
+            simulate_factorization(
+                solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8), plan=plan
+            )
+        plan_wrong_p = FactorPlan(solver.sym, 2, PlanOptions(nb=8))
+        with pytest.raises(ShapeError):
+            simulate_factorization(
+                solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8),
+                plan=plan_wrong_p,
+            )
+
+    def test_full_symmetric_refactor_parallel_ldlt(self):
+        """Full-symmetric refactor input + LDLT on the parallel engine."""
+        lower = grid2d_laplacian(6)
+        solver = SparseSolver(lower, method="ldlt")
+        solver.analyze()
+        solver.update_values(full_symmetric_from_lower(scaled(lower, 1.5)))
+        res = simulate_factorization(
+            solver.sym, 4, GENERIC_CLUSTER, PlanOptions(nb=8), method="ldlt"
+        )
+        b = make_rng(23).standard_normal((36, 2))
+        x = simulate_solve(res, b).x
+        assert max_residual(solver.lower, b, x) < 1e-9
