@@ -7,7 +7,6 @@ running both engines on a convection–diffusion operator (LU) and its
 symmetric diffusion limit (Cholesky) on the same mesh and ordering.
 """
 
-import numpy as np
 
 from harness import banner
 

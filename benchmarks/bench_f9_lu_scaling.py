@@ -7,7 +7,6 @@ fronts are flop-denser), and scales with the same subtree-to-subcube
 character.
 """
 
-import numpy as np
 
 from harness import banner
 

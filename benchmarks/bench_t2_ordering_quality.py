@@ -9,7 +9,7 @@ from harness import banner
 
 from repro.gen import get_paper_matrix
 from repro.graph import AdjacencyGraph
-from repro.ordering import ORDERINGS, get_ordering, ordering_quality
+from repro.ordering import get_ordering, ordering_quality
 from repro.util.tables import format_table
 
 INSTANCES = ["cube-s", "cube-m", "plate-m", "elast-s"]

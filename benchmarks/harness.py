@@ -16,7 +16,6 @@ from repro.gen import (
     grid3d_laplacian,
     grid3d_27pt,
     get_paper_matrix,
-    paper_suite,
 )
 from repro.graph import AdjacencyGraph
 from repro.machine import BLUEGENE_P, POWER5_CLUSTER

@@ -24,6 +24,7 @@ from repro.gen import grid3d_laplacian
 from repro.machine import BLUEGENE_P
 from repro.parallel import FactorPlan, PlanOptions, simulate_factorization
 from repro.symbolic.tree_stats import tree_stats
+from repro.util.errors import ReproError
 from repro.util.tables import format_table
 
 
@@ -58,7 +59,7 @@ def main(mesh: int = 14) -> None:
         try:
             p_fit = min_feasible_ranks(sym, budget_mb * 1e6, opts)
             print(f"fits in {budget_mb} MB/rank from p={p_fit}")
-        except Exception as exc:
+        except ReproError as exc:
             print(f"does not fit {budget_mb} MB/rank: {exc}")
     plan1 = FactorPlan(sym, 1, opts)
     print(

@@ -9,7 +9,7 @@ Run:  python examples/ordering_playground.py
 
 from repro.gen import grid2d_laplacian, grid3d_laplacian, grid2d_anisotropic
 from repro.graph import AdjacencyGraph
-from repro.ordering import ORDERINGS, get_ordering, ordering_quality
+from repro.ordering import get_ordering, ordering_quality
 from repro.ordering.nested_dissection import nd_separator_tree_sizes
 from repro.util.tables import format_table
 

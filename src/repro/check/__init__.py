@@ -1,0 +1,39 @@
+"""Correctness tooling: static analysis, comm-trace checking, sanitizers.
+
+Three passes, one CLI (``python -m repro.cli check``):
+
+* :mod:`repro.check.lint` — project-specific AST lint (rules RP001…RP006)
+  with inline ``# repro: noqa[RPxxx]`` suppression;
+* :mod:`repro.check.commcheck` — replays a :class:`~repro.simmpi.trace.
+  CommTrace` and flags unmatched messages, conservation violations,
+  wait-for cycles (deadlock), and order-nondeterministic receive pairs;
+* :mod:`repro.check.sanitize` — debug-mode invariant checks (CSR/CSC
+  well-formedness, permutation validity, etree acyclicity/postorder,
+  supernode coverage, frontal-stack balance, ledger conservation) hooked
+  into hot paths behind ``REPRO_CHECK=1``;
+* :mod:`repro.check.selftest` — embedded known-bad fixtures proving every
+  checker still fires (the CI gate).
+
+Submodules are imported lazily: the sanitizer is consulted from low-level
+hot paths (sparse constructors, the simulator), so this package must be
+importable without dragging in the rest of the library.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+__all__ = ["lint", "commcheck", "sanitize", "selftest"]
+
+_SUBMODULES = frozenset(__all__)
+
+
+def __getattr__(name: str) -> Any:
+    if name in _SUBMODULES:
+        return importlib.import_module(f"repro.check.{name}")
+    raise AttributeError(f"module 'repro.check' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(_SUBMODULES)

@@ -1,0 +1,324 @@
+"""Communication race & deadlock detection over simmpi traces.
+
+Replays a :class:`~repro.simmpi.trace.CommTrace` (recorded by the
+simulator with ``trace=True``, loaded from a JSONL file, or hand-built in
+tests) through a virtual post office and reports:
+
+* **unmatched-send** — a message injected but never received (lost
+  message / missing ``Recv``);
+* **unmatched-recv** — a receive completion with no prior matching send
+  (impossible in recorded traces; indicates a corrupted or truncated log);
+* **race** — order-nondeterministic receive pair: at the moment a receive
+  matched, two or more in-flight messages carried the *same* (source,
+  destination, tag) key, so the delivered payload depends on arrival
+  order the tag cannot distinguish;
+* **deadlock** — a wait-for cycle among terminally blocked ranks (rank a
+  blocked on b, b on c, …, back to a);
+* **starved** — a rank terminally blocked on a message that was never
+  sent (deadlock's acyclic cousin);
+* **conservation** — per-rank count/byte totals in the trace disagree
+  with the :class:`~repro.simmpi.ledger.MessageLedger`, or the ledger
+  itself violates the conservation identities
+  (:meth:`~repro.simmpi.ledger.MessageLedger.verify`).
+
+Findings carry rank and timestamp evidence. ``race`` findings are
+warnings (the simulator's FIFO matching makes them deterministic *here*,
+but the same program on a real network is order-dependent); everything
+else is an error.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.simmpi.ledger import MessageLedger
+from repro.simmpi.trace import CommEvent, CommTrace
+from repro.util.errors import SimulationError
+
+__all__ = [
+    "CommFinding",
+    "CommReport",
+    "check_trace",
+    "check_ledger",
+    "check_sim_result",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class CommFinding:
+    """One anomaly detected in a communication trace."""
+
+    code: str  # "unmatched-send" | "unmatched-recv" | "race" | "deadlock" | "starved" | "conservation"
+    severity: str  # ERROR | WARNING
+    message: str
+    rank: int | None = None
+    time: float | None = None
+
+    def format(self) -> str:
+        where = "" if self.rank is None else f" [rank {self.rank}"
+        if where and self.time is not None:
+            where += f" @ t={self.time:.6g}"
+        if where:
+            where += "]"
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class CommReport:
+    """Outcome of one trace replay."""
+
+    findings: list[CommFinding] = field(default_factory=list)
+    n_events: int = 0
+    n_messages_matched: int = 0
+
+    @property
+    def errors(self) -> list[CommFinding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[CommFinding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        head = (
+            f"commcheck: {self.n_events} events, "
+            f"{self.n_messages_matched} messages matched, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        body = "\n".join(f.format() for f in self.findings)
+        return head if not body else head + "\n" + body
+
+
+def check_trace(
+    trace: CommTrace | Iterable[CommEvent],
+    ledger: MessageLedger | None = None,
+) -> CommReport:
+    """Replay *trace* and report every anomaly found.
+
+    Events are replayed in ``seq`` order (file order for loaded traces).
+    When *ledger* is given, the trace's per-rank totals are reconciled
+    against it and the ledger's own conservation identities are verified.
+    """
+    events = sorted(trace, key=lambda e: e.seq)
+    report = CommReport(n_events=len(events))
+
+    # Virtual post office: (sender, receiver, tag) -> FIFO of send events.
+    in_flight: dict[tuple[int, int, str], deque[CommEvent]] = {}
+    # rank -> the block event it is currently parked on (None = runnable).
+    waiting: dict[int, CommEvent] = {}
+    # Per-rank trace totals for ledger reconciliation.
+    sent_count: dict[int, int] = {}
+    sent_bytes: dict[int, int] = {}
+    recv_count: dict[int, int] = {}
+    recv_bytes: dict[int, int] = {}
+
+    for e in events:
+        if e.kind == "send":
+            in_flight.setdefault((e.rank, e.peer, e.tag), deque()).append(e)
+            sent_count[e.rank] = sent_count.get(e.rank, 0) + 1
+            sent_bytes[e.rank] = sent_bytes.get(e.rank, 0) + e.nbytes
+        elif e.kind == "recv":
+            waiting.pop(e.rank, None)
+            recv_count[e.rank] = recv_count.get(e.rank, 0) + 1
+            recv_bytes[e.rank] = recv_bytes.get(e.rank, 0) + e.nbytes
+            key = (e.peer, e.rank, e.tag)
+            queue = in_flight.get(key)
+            if not queue:
+                report.findings.append(
+                    CommFinding(
+                        code="unmatched-recv",
+                        severity=ERROR,
+                        message=(
+                            f"receive from rank {e.peer} tag {e.tag} "
+                            "completed with no matching send in the trace"
+                        ),
+                        rank=e.rank,
+                        time=e.time,
+                    )
+                )
+                continue
+            if len(queue) > 1:
+                first, second = queue[0], queue[1]
+                report.findings.append(
+                    CommFinding(
+                        code="race",
+                        severity=WARNING,
+                        message=(
+                            f"order-nondeterministic receive pair: "
+                            f"{len(queue)} in-flight messages from rank "
+                            f"{e.peer} with identical tag {e.tag} "
+                            f"(sent at t={first.time:.6g} and "
+                            f"t={second.time:.6g}) — delivery order is not "
+                            "determined by the tag"
+                        ),
+                        rank=e.rank,
+                        time=e.time,
+                    )
+                )
+            queue.popleft()
+            if not queue:
+                del in_flight[(e.peer, e.rank, e.tag)]
+            report.n_messages_matched += 1
+        elif e.kind == "block":
+            waiting[e.rank] = e
+        else:
+            report.findings.append(
+                CommFinding(
+                    code="unmatched-recv",
+                    severity=ERROR,
+                    message=f"unknown event kind {e.kind!r} at seq {e.seq}",
+                    rank=e.rank,
+                    time=e.time,
+                )
+            )
+
+    # Leftover in-flight messages were sent but never received.
+    for (src, dst, tag), queue in sorted(in_flight.items()):
+        for e in queue:
+            report.findings.append(
+                CommFinding(
+                    code="unmatched-send",
+                    severity=ERROR,
+                    message=(
+                        f"message to rank {dst} tag {tag} "
+                        f"({e.nbytes} B) was never received"
+                    ),
+                    rank=src,
+                    time=e.time,
+                )
+            )
+
+    report.findings.extend(_deadlock_findings(waiting))
+
+    if ledger is not None:
+        report.findings.extend(
+            _reconcile_ledger(
+                ledger, sent_count, sent_bytes, recv_count, recv_bytes
+            )
+        )
+        report.findings.extend(check_ledger(ledger))
+
+    return report
+
+
+def _deadlock_findings(waiting: dict[int, CommEvent]) -> list[CommFinding]:
+    """Wait-for cycles (deadlock) and acyclic terminal blocks (starvation)
+    among ranks whose last recorded state is 'blocked'."""
+    findings: list[CommFinding] = []
+    in_cycle: set[int] = set()
+    # Each blocked rank waits on exactly one peer: the wait-for graph is
+    # functional, so cycles are found by walking successors.
+    for start in sorted(waiting):
+        if start in in_cycle:
+            continue
+        path: list[int] = []
+        seen_at: dict[int, int] = {}
+        r = start
+        while r in waiting and r not in seen_at:
+            seen_at[r] = len(path)
+            path.append(r)
+            r = waiting[r].peer
+        if r in seen_at:
+            cycle = path[seen_at[r]:]
+            if not in_cycle.intersection(cycle):
+                steps = " -> ".join(
+                    f"rank {a} (tag {waiting[a].tag}, "
+                    f"blocked t={waiting[a].time:.6g})"
+                    for a in cycle
+                )
+                findings.append(
+                    CommFinding(
+                        code="deadlock",
+                        severity=ERROR,
+                        message=(
+                            f"wait-for cycle of {len(cycle)} rank(s): "
+                            f"{steps} -> rank {cycle[0]}"
+                        ),
+                        rank=cycle[0],
+                        time=waiting[cycle[0]].time,
+                    )
+                )
+            in_cycle.update(cycle)
+    for r in sorted(waiting):
+        if r in in_cycle:
+            continue
+        e = waiting[r]
+        findings.append(
+            CommFinding(
+                code="starved",
+                severity=ERROR,
+                message=(
+                    f"blocked forever on a receive from rank {e.peer} "
+                    f"tag {e.tag} that was never sent"
+                ),
+                rank=r,
+                time=e.time,
+            )
+        )
+    return findings
+
+
+def _reconcile_ledger(
+    ledger: MessageLedger,
+    sent_count: dict[int, int],
+    sent_bytes: dict[int, int],
+    recv_count: dict[int, int],
+    recv_bytes: dict[int, int],
+) -> list[CommFinding]:
+    """Per-rank trace totals must match the ledger exactly."""
+    findings: list[CommFinding] = []
+    columns = (
+        ("sent messages", sent_count, ledger.sent_by_rank),
+        ("sent bytes", sent_bytes, ledger.bytes_sent_by_rank),
+        ("received messages", recv_count, ledger.recv_by_rank),
+        ("received bytes", recv_bytes, ledger.bytes_recv_by_rank),
+    )
+    for label, from_trace, from_ledger in columns:
+        for r in range(ledger.n_ranks):
+            t, led = from_trace.get(r, 0), from_ledger[r]
+            if t != led:
+                findings.append(
+                    CommFinding(
+                        code="conservation",
+                        severity=ERROR,
+                        message=(
+                            f"{label} disagree: trace says {t}, "
+                            f"ledger says {led}"
+                        ),
+                        rank=r,
+                    )
+                )
+    return findings
+
+
+def check_ledger(ledger: MessageLedger) -> list[CommFinding]:
+    """Ledger-only conservation check as findings (empty list = clean)."""
+    try:
+        ledger.verify()
+    except SimulationError as exc:
+        return [
+            CommFinding(code="conservation", severity=ERROR, message=str(exc))
+        ]
+    return []
+
+
+def check_sim_result(result: Any) -> CommReport:
+    """Convenience: check a :class:`~repro.simmpi.scheduler.SimResult`
+    that was produced with ``trace=True`` (comm log + ledger)."""
+    trace = getattr(result, "trace", None)
+    if trace is None:
+        raise SimulationError(
+            "commcheck needs a traced run — build the Simulator with "
+            "trace=True"
+        )
+    return check_trace(trace.comm, ledger=result.ledger)

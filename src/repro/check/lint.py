@@ -1,0 +1,583 @@
+"""Project-specific static analysis (AST lint).
+
+Each rule is a small class with a stable ID, scoped by the dotted module
+path inferred from the file location (``src/repro/mf/numeric.py`` →
+``repro.mf.numeric``). Findings carry file/line/column evidence and can be
+suppressed inline with ``# repro: noqa[RP001]`` (or ``# repro: noqa`` for
+all rules) on the offending line.
+
+Rule catalog
+------------
+RP001  no bare ``except`` and no silently-swallowed broad handlers
+RP002  no mutation of CSR/CSC index arrays outside :mod:`repro.sparse`
+RP003  numpy dtype discipline in kernel packages (mf, sparse, symbolic)
+RP004  no ``print`` in library code (CLI excluded)
+RP005  package ``__init__`` modules must declare ``__all__``
+RP006  unused imports (``__all__``-aware; ``__init__`` re-exports exempt)
+
+Run via ``python -m repro.cli check --lint [PATHS…]`` or
+:func:`lint_paths`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.util.errors import LintError
+
+__all__ = [
+    "LintFinding",
+    "LintContext",
+    "LintRule",
+    "DEFAULT_RULES",
+    "RULE_CATALOG",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9, ]+)\])?", re.IGNORECASE
+)
+
+#: packages whose kernels must use the canonical dtypes (RP003)
+KERNEL_PACKAGES = ("repro.mf", "repro.sparse", "repro.symbolic")
+
+#: dtype spellings allowed in kernel code: the canonical int64/float64
+#: pair, booleans, and float (always float64 in numpy) — notably absent:
+#: platform-dependent ``int`` and every narrow width.
+ALLOWED_DTYPES = frozenset(
+    {
+        "int64",
+        "float64",
+        "bool",
+        "bool_",
+        "float",
+        "intp",
+        "INDEX_DTYPE",
+        "VALUE_DTYPE",
+        "complex128",
+    }
+)
+
+#: lower-case spellings and struct codes equivalent to the allowed dtypes
+_ALLOWED_CANON = frozenset(
+    {"int64", "float64", "bool", "bool_", "float", "intp", "complex128", "i8", "f8", "?"}
+)
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule sees about one source file."""
+
+    path: str
+    #: dotted module path ("repro.mf.numeric"); "" when not under repro
+    module: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    @property
+    def in_repro(self) -> bool:
+        return self.module == "repro" or self.module.startswith("repro.")
+
+    @property
+    def is_package_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+
+class LintRule:
+    """Base class: subclasses set ``id``/``title`` and yield findings."""
+
+    id: str = "RP000"
+    title: str = ""
+
+    def applies(self, ctx: LintContext) -> bool:
+        return True
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: LintContext, node: ast.AST, message: str
+    ) -> LintFinding:
+        return LintFinding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# -- RP001 -------------------------------------------------------------------
+
+
+def _handler_type_names(node: ast.ExceptHandler) -> list[str]:
+    """Terminal names of the exception types a handler catches."""
+    expr = node.type
+    exprs: list[ast.expr]
+    if expr is None:
+        return []
+    exprs = list(expr.elts) if isinstance(expr, ast.Tuple) else [expr]
+    names = []
+    for e in exprs:
+        if isinstance(e, ast.Name):
+            names.append(e.id)
+        elif isinstance(e, ast.Attribute):
+            names.append(e.attr)
+    return names
+
+
+class NoSwallowedExceptRule(LintRule):
+    """RP001: no bare ``except``; broad handlers must re-raise.
+
+    A bare ``except:`` is always flagged. ``except Exception`` /
+    ``except BaseException`` is flagged when the handler body contains no
+    ``raise`` — a silently-swallowed catch-all hides real failures (the
+    retry paths in the serving layer must catch the typed
+    :class:`~repro.util.errors.ReproError` hierarchy instead).
+    """
+
+    id = "RP001"
+    title = "bare or swallowed broad except"
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:' — name the exception types"
+                )
+                continue
+            broad = {"Exception", "BaseException"} & set(
+                _handler_type_names(node)
+            )
+            if broad and not any(
+                isinstance(inner, ast.Raise)
+                for stmt in node.body
+                for inner in ast.walk(stmt)
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'except {sorted(broad)[0]}' swallows the error — "
+                    "re-raise or catch a typed ReproError subclass",
+                )
+
+
+# -- RP002 -------------------------------------------------------------------
+
+_INDEX_ATTRS = frozenset({"indptr", "indices"})
+#: ndarray methods that mutate in place
+_MUTATING_METHODS = frozenset({"sort", "fill", "resize", "put", "partition"})
+
+
+def _index_attr(expr: ast.expr) -> ast.Attribute | None:
+    """The ``x.indptr`` / ``x.indices`` attribute inside an lvalue, if any.
+
+    Recognizes direct rebinds (``m.indptr = …``), element stores
+    (``m.indices[k] = …``), and slice stores. ``self.indptr = …`` is
+    exempt: a class initializing its *own* attributes is construction,
+    not corruption of a shared pattern.
+    """
+    if isinstance(expr, ast.Attribute) and expr.attr in _INDEX_ATTRS:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return None
+        return expr
+    if isinstance(expr, ast.Subscript):
+        return _index_attr(expr.value)
+    return None
+
+
+class NoIndexMutationRule(LintRule):
+    """RP002: CSR/CSC index arrays are immutable outside :mod:`repro.sparse`.
+
+    The analysis cache, refactorization paths, and the simulator all share
+    pattern structures by reference; in-place edits to ``indptr`` /
+    ``indices`` anywhere but the sparse kernels silently corrupt every
+    holder of the pattern.
+    """
+
+    id = "RP002"
+    title = "index-array mutation outside repro.sparse"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro and not ctx.module.startswith("repro.sparse")
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Call):
+                f = node.func
+                if (
+                    isinstance(f, ast.Attribute)
+                    and f.attr in _MUTATING_METHODS
+                    and _index_attr(f.value) is not None
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"in-place '{f.attr}()' on a CSR/CSC index array — "
+                        "copy it or do this inside repro.sparse",
+                    )
+                continue
+            for t in targets:
+                attr = _index_attr(t)
+                if attr is not None:
+                    yield self.finding(
+                        ctx,
+                        attr,
+                        f"assignment to '.{attr.attr}' outside repro.sparse "
+                        "— build a new matrix instead of mutating the "
+                        "shared pattern",
+                    )
+
+
+# -- RP003 -------------------------------------------------------------------
+
+
+def _dtype_name(expr: ast.expr) -> str | None:
+    """Best-effort name of an explicit dtype argument; None = not literal
+    enough to judge (left alone)."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        # `x.dtype` is a dynamic passthrough of an existing array's dtype,
+        # not a literal choice — leave it alone.
+        return None if expr.attr == "dtype" else expr.attr
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    return None
+
+
+class KernelDtypeRule(LintRule):
+    """RP003: kernel packages use the canonical dtypes.
+
+    Index arrays are int64 (``repro.util.validation.INDEX_DTYPE``), values
+    are float64 (``VALUE_DTYPE``). Narrow or platform-dependent dtypes
+    (``int32``, ``float32``, plain ``int``, ``"i4"``…) change answer bits
+    and overflow on paper-scale problems.
+    """
+
+    id = "RP003"
+    title = "non-canonical dtype in kernel code"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in KERNEL_PACKAGES
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "dtype":
+                    continue
+                name = _dtype_name(kw.value)
+                if name is None:
+                    continue
+                canon = name.lower().lstrip("<>=|")
+                if name in ALLOWED_DTYPES or canon in _ALLOWED_CANON:
+                    continue
+                yield self.finding(
+                    ctx,
+                    kw.value,
+                    f"dtype={name!r} in a kernel — use INDEX_DTYPE (int64) "
+                    "or VALUE_DTYPE (float64) from repro.util.validation",
+                )
+
+
+# -- RP004 -------------------------------------------------------------------
+
+
+class NoPrintRule(LintRule):
+    """RP004: no ``print`` in library code.
+
+    Reporting goes through return values and the CLI/analysis layers;
+    stray prints corrupt the machine-readable output of ``repro.cli``
+    subcommands (tables, traces) when the library runs underneath them.
+    """
+
+    id = "RP004"
+    title = "print() in library code"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro and ctx.module != "repro.cli"
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code — return data or raise; only "
+                    "repro.cli talks to stdout",
+                )
+
+
+# -- RP005 -------------------------------------------------------------------
+
+
+class InitNeedsAllRule(LintRule):
+    """RP005: package ``__init__`` modules declare ``__all__``.
+
+    The package ``__init__`` files are the public API surface; an explicit
+    ``__all__`` keeps re-exports deliberate and lets RP006 distinguish
+    re-exports from dead imports.
+    """
+
+    id = "RP005"
+    title = "package __init__ without __all__"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.is_package_init and bool(ctx.tree.body)
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        has_content = any(
+            isinstance(n, (ast.Import, ast.ImportFrom, ast.FunctionDef, ast.ClassDef))
+            for n in ctx.tree.body
+        )
+        if not has_content:
+            return
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets
+            ):
+                return
+            if (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.target.id == "__all__"
+            ):
+                return
+        yield self.finding(
+            ctx,
+            ctx.tree.body[0],
+            "public package __init__ must declare __all__",
+        )
+
+
+# -- RP006 -------------------------------------------------------------------
+
+
+class UnusedImportRule(LintRule):
+    """RP006: unused imports.
+
+    A binding introduced by ``import``/``from … import`` must be
+    referenced by name, listed in ``__all__``, or re-exported via the
+    ``import x as x`` convention. Package ``__init__`` modules are exempt
+    (their imports *are* the API). ``from __future__`` and ``import *``
+    are ignored.
+    """
+
+    id = "RP006"
+    title = "unused import"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return not ctx.is_package_init
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        imported: list[tuple[str, str, ast.AST]] = []  # (binding, shown, node)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bind = alias.asname or alias.name.split(".")[0]
+                    imported.append((bind, alias.name, node))
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if alias.asname == alias.name:
+                        continue  # explicit re-export convention
+                    bind = alias.asname or alias.name
+                    imported.append((bind, alias.name, node))
+        if not imported:
+            return
+        used: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                used.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                base = node.value
+                while isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    used.add(base.id)
+        exported = _declared_all(ctx.tree)
+        for bind, shown, node in imported:
+            if bind in used or bind in exported:
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"'{shown}' imported but unused",
+            )
+
+
+def _declared_all(tree: ast.Module) -> set[str]:
+    """String entries of a top-level ``__all__`` list/tuple, if present."""
+    for node in tree.body:
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            value = node.value
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == "__all__"
+        ):
+            value = node.value
+        if value is not None and isinstance(value, (ast.List, ast.Tuple)):
+            return {
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            }
+    return set()
+
+
+# -- engine ------------------------------------------------------------------
+
+DEFAULT_RULES: tuple[type[LintRule], ...] = (
+    NoSwallowedExceptRule,
+    NoIndexMutationRule,
+    KernelDtypeRule,
+    NoPrintRule,
+    InitNeedsAllRule,
+    UnusedImportRule,
+)
+
+#: id → one-line description (the DESIGN.md rule catalog is generated
+#: from the docstrings; this is the quick runtime form)
+RULE_CATALOG: dict[str, str] = {
+    r.id: (r.__doc__ or r.title).strip().splitlines()[0] for r in DEFAULT_RULES
+}
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module path inferred from a file location.
+
+    Uses the last ``repro`` component in the path as the package root;
+    files outside a ``repro`` tree get "" (repo-scoped rules skip them —
+    pass ``module=`` to :func:`lint_source` to override).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return ""
+
+
+def _suppressed(finding: LintFinding, lines: Sequence[str]) -> bool:
+    if not (1 <= finding.line <= len(lines)):
+        return False
+    m = _NOQA_RE.search(lines[finding.line - 1])
+    if not m:
+        return False
+    ids = m.group("ids")
+    if ids is None:
+        return True
+    wanted = {tok.strip().upper() for tok in ids.split(",") if tok.strip()}
+    return finding.rule.upper() in wanted
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Iterable[type[LintRule]] | None = None,
+) -> list[LintFinding]:
+    """Lint one source string; returns unsuppressed findings in line order."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: syntax error: {exc}") from exc
+    lines = tuple(source.splitlines())
+    ctx = LintContext(
+        path=path,
+        module=module if module is not None else module_name_for(Path(path)),
+        tree=tree,
+        lines=lines,
+    )
+    findings: list[LintFinding] = []
+    for rule_cls in rules or DEFAULT_RULES:
+        rule = rule_cls()
+        if not rule.applies(ctx):
+            continue
+        for f in rule.check(ctx):
+            if not _suppressed(f, lines):
+                findings.append(f)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    module: str | None = None,
+    rules: Iterable[type[LintRule]] | None = None,
+) -> list[LintFinding]:
+    """Lint one file (see :func:`lint_source`)."""
+    p = Path(path)
+    try:
+        source = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read {p}: {exc}") from exc
+    return lint_source(source, path=str(p), module=module, rules=rules)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Iterable[type[LintRule]] | None = None,
+) -> list[LintFinding]:
+    """Lint files and directory trees (``*.py``, sorted, deduplicated)."""
+    files: list[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    seen: set[Path] = set()
+    findings: list[LintFinding] = []
+    for f in files:
+        key = f.resolve()
+        if key in seen:
+            continue
+        seen.add(key)
+        findings.extend(lint_file(f, rules=rules))
+    return findings

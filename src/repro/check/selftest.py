@@ -1,0 +1,298 @@
+"""Built-in self-test of the check subsystem.
+
+Runs every analysis pass against embedded *known-bad* inputs and verifies
+each one is caught (and that known-good twins pass). This is the fast CI
+gate proving the checkers themselves work — a linter that silently stops
+firing is worse than no linter.
+
+Invoked by ``python -m repro.cli check --self-test``; returns structured
+results so tests can assert on individual cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.check import commcheck, lint, sanitize
+from repro.simmpi.ledger import MessageLedger
+from repro.simmpi.trace import CommTrace
+from repro.util.errors import InvariantError
+
+__all__ = ["SelfTestResult", "run_self_test"]
+
+
+@dataclass(frozen=True)
+class SelfTestResult:
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def format(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        tail = f" — {self.detail}" if self.detail and not self.passed else ""
+        return f"  [{mark:4s}] {self.name}{tail}"
+
+
+# -- lint fixtures (seeded violations, one per rule) -------------------------
+
+_LINT_CASES: tuple[tuple[str, str, str, str, int], ...] = (
+    # (rule id, module, path, source, expected finding count)
+    (
+        "RP001",
+        "repro.service.fixture",
+        "<selftest>",
+        "try:\n    risky()\nexcept:\n    pass\n",
+        1,
+    ),
+    (
+        "RP001",
+        "repro.service.fixture",
+        "<selftest>",
+        "try:\n    risky()\nexcept Exception:\n    log()\n",
+        1,
+    ),
+    (
+        "RP002",
+        "repro.mf.fixture",
+        "<selftest>",
+        "def f(m):\n    m.indptr[0] = 1\n",
+        1,
+    ),
+    (
+        "RP003",
+        "repro.sparse.fixture",
+        "<selftest>",
+        "import numpy as np\n\n"
+        "def f():\n    return np.zeros(3, dtype=np.int32)\n",
+        1,
+    ),
+    (
+        "RP004",
+        "repro.mf.fixture",
+        "<selftest>",
+        "def f(x):\n    print(x)\n",
+        1,
+    ),
+    (
+        "RP005",
+        "repro.fixture",
+        "fixture/__init__.py",
+        "from repro.util.errors import ReproError\n",
+        1,
+    ),
+    (
+        "RP006",
+        "repro.util.fixture",
+        "<selftest>",
+        "import os\n\n\ndef f() -> int:\n    return 1\n",
+        1,
+    ),
+)
+
+_CLEAN_SOURCE = (
+    "import os\n\n\n"
+    "def f(m) -> str:\n"
+    "    try:\n"
+    "        return os.fspath(m)\n"
+    "    except TypeError:\n"
+    "        raise\n"
+)
+
+_SUPPRESSED_SOURCE = "def f(x):\n    print(x)  # repro: noqa[RP004]\n"
+
+
+def _lint_results() -> list[SelfTestResult]:
+    results = []
+    for rule_id, module, path, source, expected in _LINT_CASES:
+        found = lint.lint_source(source, path=path, module=module)
+        hits = [f for f in found if f.rule == rule_id]
+        results.append(
+            SelfTestResult(
+                name=f"lint {rule_id} catches seeded violation",
+                passed=len(hits) == expected,
+                detail=f"expected {expected} {rule_id}, got {len(hits)} "
+                f"({[f.rule for f in found]})",
+            )
+        )
+    clean = lint.lint_source(
+        _CLEAN_SOURCE, path="<selftest>", module="repro.util.fixture"
+    )
+    results.append(
+        SelfTestResult(
+            name="lint passes clean source",
+            passed=not clean,
+            detail="; ".join(f.format() for f in clean),
+        )
+    )
+    suppressed = lint.lint_source(
+        _SUPPRESSED_SOURCE, path="<selftest>", module="repro.mf.fixture"
+    )
+    results.append(
+        SelfTestResult(
+            name="lint honors inline noqa suppression",
+            passed=not suppressed,
+            detail="; ".join(f.format() for f in suppressed),
+        )
+    )
+    return results
+
+
+# -- commcheck fixtures ------------------------------------------------------
+
+
+def _deadlock_trace() -> CommTrace:
+    """Two ranks, each blocked receiving from the other; nothing sent."""
+    t = CommTrace()
+    t.add("block", 0.0, rank=0, peer=1, tag="t")
+    t.add("block", 0.0, rank=1, peer=0, tag="t")
+    return t
+
+
+def _race_trace() -> CommTrace:
+    """Two same-key messages in flight when the receive matches."""
+    t = CommTrace()
+    t.add("send", 0.0, rank=0, peer=1, tag="dup", nbytes=8)
+    t.add("send", 1.0, rank=0, peer=1, tag="dup", nbytes=8)
+    t.add("recv", 2.0, rank=1, peer=0, tag="dup", nbytes=8)
+    t.add("recv", 3.0, rank=1, peer=0, tag="dup", nbytes=8)
+    return t
+
+
+def _lost_message_trace() -> CommTrace:
+    t = CommTrace()
+    t.add("send", 0.0, rank=0, peer=1, tag="x", nbytes=8)
+    return t
+
+
+def _clean_trace() -> CommTrace:
+    t = CommTrace()
+    t.add("send", 0.0, rank=0, peer=1, tag="a", nbytes=8)
+    t.add("recv", 1.0, rank=1, peer=0, tag="a", nbytes=8)
+    t.add("send", 1.5, rank=1, peer=0, tag="b", nbytes=16)
+    t.add("recv", 2.0, rank=0, peer=1, tag="b", nbytes=16)
+    return t
+
+
+def _commcheck_results() -> list[SelfTestResult]:
+    cases: tuple[tuple[str, CommTrace, str, bool], ...] = (
+        ("deadlock", _deadlock_trace(), "deadlock", False),
+        ("lost message", _lost_message_trace(), "unmatched-send", False),
+        ("receive race", _race_trace(), "race", True),
+    )
+    results = []
+    for name, trace, code, ok_expected in cases:
+        report = commcheck.check_trace(trace)
+        caught = any(f.code == code for f in report.findings)
+        results.append(
+            SelfTestResult(
+                name=f"commcheck flags {name} trace",
+                passed=caught and report.ok == ok_expected,
+                detail=report.summary(),
+            )
+        )
+    clean = commcheck.check_trace(_clean_trace())
+    results.append(
+        SelfTestResult(
+            name="commcheck passes clean trace",
+            passed=clean.ok and not clean.findings,
+            detail=clean.summary(),
+        )
+    )
+    bad_ledger = MessageLedger(2)
+    bad_ledger.record_send(0, 1, 100, 1)  # sent but never received
+    results.append(
+        SelfTestResult(
+            name="commcheck flags ledger conservation violation",
+            passed=bool(commcheck.check_ledger(bad_ledger)),
+        )
+    )
+    good_ledger = MessageLedger(2)
+    good_ledger.record_send(0, 1, 100, 1)
+    good_ledger.record_recv(1, 100)
+    results.append(
+        SelfTestResult(
+            name="commcheck passes conserving ledger",
+            passed=not commcheck.check_ledger(good_ledger),
+        )
+    )
+    return results
+
+
+# -- sanitizer fixtures ------------------------------------------------------
+
+
+class _FakeCSC:
+    """Minimal duck-typed CSC for corruption fixtures."""
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        indptr: Sequence[int],
+        indices: Sequence[int],
+        data: Sequence[float],
+    ) -> None:
+        self.shape = shape
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.float64)
+
+
+def _sanitize_cases() -> tuple[tuple[str, Callable[[], None]], ...]:
+    good = _FakeCSC((2, 2), [0, 2, 3], [0, 1, 1], [1.0, 2.0, 3.0])
+    unsorted_csc = _FakeCSC((3, 2), [0, 2, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+    ragged = _FakeCSC((2, 2), [0, 5, 3], [0, 1, 1], [1.0, 2.0, 3.0])
+    cyclic = np.asarray([1, 2, 0], dtype=np.int64)
+    not_post = np.asarray([-1, 0], dtype=np.int64)
+
+    class _Part:
+        sn_start = np.asarray([0, 2], dtype=np.int64)  # covers only 2 of 3
+        col_to_sn = np.asarray([0, 0], dtype=np.int64)
+
+    return (
+        ("unsorted CSC indices", lambda: sanitize.check_csc(unsorted_csc)),
+        ("ragged indptr", lambda: sanitize.check_csc(ragged)),
+        ("cyclic etree", lambda: sanitize.check_etree(cyclic)),
+        ("non-postordered etree", lambda: sanitize.check_postordered(not_post)),
+        (
+            "uncovered supernode partition",
+            lambda: sanitize.check_partition(_Part(), 3),
+        ),
+        (
+            "invalid permutation",
+            lambda: sanitize.check_permutation(np.asarray([0, 0, 2]), 3),
+        ),
+        (
+            "frontal stack leak",
+            lambda: sanitize.check_frontal_balance(16, {3: object()}),
+        ),
+        ("well-formed CSC accepted", lambda: sanitize.check_csc(good)),
+    )
+
+
+def _sanitize_results() -> list[SelfTestResult]:
+    results = []
+    for name, thunk in _sanitize_cases():
+        expect_raise = not name.endswith("accepted")
+        try:
+            thunk()
+            caught = False
+            detail = "no InvariantError raised"
+        except InvariantError as exc:
+            caught = True
+            detail = str(exc)
+        results.append(
+            SelfTestResult(
+                name=f"sanitizer: {name}",
+                passed=caught == expect_raise,
+                detail=detail,
+            )
+        )
+    return results
+
+
+def run_self_test() -> list[SelfTestResult]:
+    """Run all embedded self-tests; the caller decides how to report."""
+    return _lint_results() + _commcheck_results() + _sanitize_results()

@@ -8,7 +8,9 @@ Subcommands mirror the workflow of the library:
 * ``compare``  — baseline solver comparison at given rank counts;
 * ``suite``    — print the paper-suite inventory table (T1);
 * ``serve-sim``— replay a synthetic transient-FE request trace through the
-  serving layer (``repro.service``) and print its metrics report.
+  serving layer (``repro.service``) and print its metrics report;
+* ``check``    — correctness tooling (``repro.check``): project lint,
+  comm-trace race/deadlock analysis, and the checker self-test.
 
 Problems come from ``--mesh KIND:SIZE`` (generators) or ``--matrix FILE``
 (Matrix Market). Run ``python -m repro.cli <cmd> --help`` for options.
@@ -284,6 +286,76 @@ def cmd_serve_sim(args) -> int:
     return 0 if completed else 1
 
 
+def cmd_check(args) -> int:
+    """Run the requested check passes; exit 0 only if every pass is clean.
+
+    Without mode flags, ``--lint`` is implied. ``--comm`` replays a JSONL
+    comm trace; ``--comm-sim MESH:SIZE:RANKS`` records a fresh strong-
+    scaling factorization trace and checks it end to end.
+    """
+    from repro.check import commcheck, lint, selftest
+    from repro.simmpi.trace import CommTrace
+
+    do_lint = args.lint or not (args.comm or args.comm_sim or args.self_test)
+    failed = False
+
+    if do_lint:
+        paths = args.paths or ["src/repro"]
+        findings = lint.lint_paths(paths)
+        for f in findings:
+            print(f.format())
+        print(
+            f"lint: {len(findings)} finding(s) in {', '.join(paths)}"
+        )
+        failed |= bool(findings)
+
+    if args.comm:
+        with open(args.comm, "r", encoding="utf-8") as fp:
+            trace = CommTrace.from_jsonl(fp)
+        report = commcheck.check_trace(trace)
+        print(report.summary())
+        failed |= not report.ok
+
+    if args.comm_sim:
+        try:
+            kind, size_s, ranks_s = args.comm_sim.split(":")
+            size, ranks = int(size_s), int(ranks_s)
+        except ValueError:
+            raise ShapeError(
+                f"--comm-sim must look like plate:8:4; got {args.comm_sim!r}"
+            ) from None
+        args.mesh = f"{kind}:{size}"
+        a = build_matrix(args)
+        solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+        solver.analyze()
+        from repro.parallel import simulate_factorization
+
+        fres = simulate_factorization(
+            solver.sym, ranks, get_machine(args.machine), trace=True
+        )
+        report = commcheck.check_sim_result(fres.sim)
+        print(
+            f"comm-sim {kind}:{size} on {ranks} ranks "
+            f"({fres.sim.ledger.n_messages} messages):"
+        )
+        print(report.summary())
+        if args.dump_trace:
+            fres.sim.trace.comm.dump(args.dump_trace)
+            print(f"trace written to {args.dump_trace}")
+        failed |= not report.ok
+
+    if args.self_test:
+        results = selftest.run_self_test()
+        n_bad = sum(1 for r in results if not r.passed)
+        print(f"self-test: {len(results)} case(s), {n_bad} failure(s)")
+        for r in results:
+            if not r.passed or args.verbose:
+                print(r.format())
+        failed |= bool(n_bad)
+
+    return 1 if failed else 0
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mesh", help="generator problem, e.g. cube:12")
     p.add_argument("--matrix", help="Matrix Market file")
@@ -364,6 +436,44 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--nb", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_serve_sim)
+
+    p = sub.add_parser(
+        "check",
+        help="static analysis, comm-trace checking, and checker self-test",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: src/repro)",
+    )
+    p.add_argument("--lint", action="store_true", help="run the AST lint rules")
+    p.add_argument(
+        "--comm",
+        metavar="TRACE.jsonl",
+        help="replay a recorded comm trace through the race/deadlock detector",
+    )
+    p.add_argument(
+        "--comm-sim",
+        metavar="MESH:SIZE:RANKS",
+        help="simulate a traced factorization (e.g. plate:8:4) and check it",
+    )
+    p.add_argument(
+        "--dump-trace",
+        metavar="FILE",
+        help="with --comm-sim: also write the comm trace as JSONL",
+    )
+    p.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify every checker fires on embedded known-bad fixtures",
+    )
+    p.add_argument("--verbose", action="store_true")
+    p.add_argument("--method", default="cholesky", choices=["cholesky", "ldlt"])
+    p.add_argument("--ordering", default="nd")
+    p.add_argument("--machine", default="generic-cluster")
+    p.add_argument("--matrix", help=argparse.SUPPRESS)
+    p.add_argument("--mesh", help=argparse.SUPPRESS)
+    p.set_defaults(func=cmd_check)
     return parser
 
 

@@ -26,7 +26,6 @@ from repro.mf.frontal import front_local_indices
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.convert import coo_to_csc, csc_to_coo, csc_to_csr
-from repro.sparse.ops import symmetrize
 from repro.sparse.permute import permute_vector, unpermute_vector
 from repro.symbolic.analyze import (
     AnalyzeOptions,

@@ -18,7 +18,8 @@ from repro.mf.accounting import FactorStats
 from repro.mf.extend_add import extend_add
 from repro.mf.frontal import assemble_front
 from repro.symbolic.analyze import SymbolicFactor, dense_partial_factor_flops
-from repro.util.errors import ShapeError
+from repro.util.errors import InvariantError, ShapeError
+from repro.util.validation import runtime_checks_enabled
 
 
 @dataclass
@@ -164,9 +165,20 @@ def multifrontal_factor(
         del front
 
     if updates:
-        raise AssertionError(
+        raise InvariantError(
             f"unconsumed update matrices for supernodes {sorted(updates)}"
         )
+    if runtime_checks_enabled():
+        # Frontal-stack balance: every push was matched by a pop and the
+        # transient entry counter returned to zero (spills included).
+        from repro.check.sanitize import check_frontal_balance
+
+        check_frontal_balance(stack_entries, updates)
+        if spilled:
+            raise InvariantError(
+                f"sanitizer: {len(spilled)} spilled update(s) never read "
+                f"back: supernodes {sorted(spilled)[:5]}"
+            )
     return NumericFactor(
         sym=sym,
         method=method,

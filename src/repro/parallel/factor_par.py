@@ -25,7 +25,6 @@ import numpy as np
 from repro.dense.chol import cholesky_in_place, _trsm_right_lower_transpose
 from repro.dense.ldlt import ldlt_in_place
 from repro.dense.partial_factor import partial_cholesky, partial_ldlt, _trsm_right_unit_lower_transpose
-from repro.mf.extend_add import extend_add
 from repro.mf.frontal import assemble_front
 from repro.parallel.dist_front import (
     LocalFront,

@@ -28,6 +28,7 @@ from repro.simmpi.ops import Send, Recv, Compute, Local
 from repro.simmpi.comm import Comm
 from repro.simmpi.scheduler import Simulator, SimResult, RankStats
 from repro.simmpi.ledger import MessageLedger
+from repro.simmpi.trace import CommEvent, CommTrace, Trace, TraceEvent, tag_key
 
 __all__ = [
     "payload_nbytes",
@@ -40,4 +41,9 @@ __all__ = [
     "SimResult",
     "RankStats",
     "MessageLedger",
+    "CommEvent",
+    "CommTrace",
+    "Trace",
+    "TraceEvent",
+    "tag_key",
 ]

@@ -14,7 +14,7 @@ concurrent collectives on different communicators never collide.
 
 from __future__ import annotations
 
-from typing import Any, Hashable, Sequence
+from typing import Any, Callable, Generator, Hashable, Sequence
 
 from repro.simmpi.ops import Recv, Send
 from repro.util.errors import SimulationError
@@ -36,7 +36,7 @@ class Comm:
 
     __slots__ = ("world_rank", "group", "ctx", "_seq")
 
-    def __init__(self, world_rank: int, group: Sequence[int], ctx: Hashable = 0):
+    def __init__(self, world_rank: int, group: Sequence[int], ctx: Hashable = 0) -> None:
         self.group = tuple(sorted(int(g) for g in group))
         if len(set(self.group)) != len(self.group):
             raise SimulationError(f"duplicate ranks in group {group}")
@@ -83,7 +83,7 @@ class Comm:
         self._seq += 1
         return tag
 
-    def bcast(self, payload: Any, root: int = 0):
+    def bcast(self, payload: Any, root: int = 0) -> Generator[Send | Recv, Any, Any]:
         """Binomial-tree broadcast; returns the payload on every rank."""
         tag = self._tag("bcast")
         me = (self.rank - root) % self.size
@@ -106,7 +106,12 @@ class Comm:
             mask >>= 1
         return payload
 
-    def reduce(self, value: Any, op=None, root: int = 0):
+    def reduce(
+        self,
+        value: Any,
+        op: Callable[[Any, Any], Any] | None = None,
+        root: int = 0,
+    ) -> Generator[Send | Recv, Any, Any]:
         """Binomial-tree reduction to *root*; returns the reduced value on
         the root, ``None`` elsewhere. *op* defaults to ``+``."""
         if op is None:
@@ -128,13 +133,15 @@ class Comm:
             mask <<= 1
         return acc
 
-    def allreduce(self, value: Any, op=None):
+    def allreduce(
+        self, value: Any, op: Callable[[Any, Any], Any] | None = None
+    ) -> Generator[Send | Recv, Any, Any]:
         """Reduce-then-broadcast allreduce."""
         acc = yield from self.reduce(value, op=op, root=0)
         acc = yield from self.bcast(acc, root=0)
         return acc
 
-    def gather(self, value: Any, root: int = 0):
+    def gather(self, value: Any, root: int = 0) -> Generator[Send | Recv, Any, Any]:
         """Gather to *root*: returns list indexed by local rank on the
         root, ``None`` elsewhere. Binomial fan-in of partial lists."""
         tag = self._tag("gather")
@@ -154,17 +161,19 @@ class Comm:
             mask <<= 1
         return [acc[i] for i in range(size)]
 
-    def allgather(self, value: Any):
+    def allgather(self, value: Any) -> Generator[Send | Recv, Any, Any]:
         """Gather-then-broadcast allgather."""
         lst = yield from self.gather(value, root=0)
         lst = yield from self.bcast(lst, root=0)
         return lst
 
-    def barrier(self):
+    def barrier(self) -> Generator[Send | Recv, Any, None]:
         """Synchronize the group (allreduce of a token)."""
         yield from self.allreduce(0)
 
-    def sendrecv(self, payload: Any, dest: int, source: int, tag: Hashable):
+    def sendrecv(
+        self, payload: Any, dest: int, source: int, tag: Hashable
+    ) -> Generator[Send | Recv, Any, Any]:
         """Simultaneous send to *dest* and receive from *source* (local
         ranks). The eager-send runtime makes the naive send-then-recv order
         deadlock-free."""
@@ -172,7 +181,7 @@ class Comm:
         got = yield Recv(self.group[source], ("p2p", self.ctx, tag))
         return got
 
-    def alltoall(self, values: Sequence[Any]):
+    def alltoall(self, values: Sequence[Any]) -> Generator[Send | Recv, Any, Any]:
         """Personalized all-to-all: ``values[j]`` goes to local rank j;
         returns the list received (indexed by source). Pairwise-exchange
         schedule (p-1 rounds), the standard algorithm for medium messages.
@@ -197,7 +206,7 @@ class Comm:
                 out[src] = yield Recv(self.group[src], (tag, src))
         return out
 
-    def scatter(self, values: Sequence[Any] | None, root: int = 0):
+    def scatter(self, values: Sequence[Any] | None, root: int = 0) -> Generator[Send | Recv, Any, Any]:
         """Scatter a per-rank list from *root*; returns this rank's item.
 
         Linear sends from the root (fine at the group sizes collectives
@@ -217,5 +226,5 @@ class Comm:
         return item
 
 
-def _add(a, b):
+def _add(a: Any, b: Any) -> Any:
     return a + b

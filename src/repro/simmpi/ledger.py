@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.errors import SimulationError
+
 
 @dataclass
 class MessageLedger:
@@ -51,3 +53,54 @@ class MessageLedger:
     @property
     def mean_message_bytes(self) -> float:
         return self.total_bytes / self.n_messages if self.n_messages else 0.0
+
+    def verify(self) -> None:
+        """Conservation assertion over the whole ledger.
+
+        Every delivered message was sent exactly once and received exactly
+        once, so at the end of a simulation the per-rank sent totals must
+        sum to ``n_messages`` and match the per-rank received totals, in
+        both counts and bytes. Called by :mod:`repro.check.commcheck` and
+        by the simulator teardown when ``REPRO_CHECK=1``.
+
+        Raises :class:`~repro.util.errors.SimulationError` with per-rank
+        evidence on the first violated identity.
+        """
+        for name, per_rank in (
+            ("sent_by_rank", self.sent_by_rank),
+            ("bytes_sent_by_rank", self.bytes_sent_by_rank),
+            ("recv_by_rank", self.recv_by_rank),
+            ("bytes_recv_by_rank", self.bytes_recv_by_rank),
+        ):
+            if len(per_rank) != self.n_ranks:
+                raise SimulationError(
+                    f"ledger {name} has {len(per_rank)} entries for "
+                    f"{self.n_ranks} ranks"
+                )
+            bad = [r for r, v in enumerate(per_rank) if v < 0]
+            if bad:
+                raise SimulationError(f"ledger {name} negative at ranks {bad[:5]}")
+        sent = sum(self.sent_by_rank)
+        recv = sum(self.recv_by_rank)
+        if sent != self.n_messages:
+            raise SimulationError(
+                f"ledger count conservation violated: per-rank sends sum to "
+                f"{sent}, ledger counted {self.n_messages} messages"
+            )
+        if recv != sent:
+            raise SimulationError(
+                f"ledger count conservation violated: {sent} messages sent "
+                f"but {recv} received ({sent - recv} undelivered)"
+            )
+        bytes_sent = sum(self.bytes_sent_by_rank)
+        bytes_recv = sum(self.bytes_recv_by_rank)
+        if bytes_sent != self.total_bytes:
+            raise SimulationError(
+                f"ledger byte conservation violated: per-rank sends sum to "
+                f"{bytes_sent} B, ledger counted {self.total_bytes} B"
+            )
+        if bytes_recv != bytes_sent:
+            raise SimulationError(
+                f"ledger byte conservation violated: {bytes_sent} B sent but "
+                f"{bytes_recv} B received"
+            )

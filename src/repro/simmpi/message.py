@@ -7,18 +7,20 @@ dominate in practice).
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 #: assumed per-object envelope overhead in bytes (headers, tags)
 ENVELOPE_BYTES = 64
 
 
-def payload_nbytes(payload) -> int:
+def payload_nbytes(payload: Any) -> int:
     """Estimated wire bytes of *payload* (numpy-aware, recursive)."""
     return ENVELOPE_BYTES + _body_nbytes(payload)
 
 
-def _body_nbytes(obj) -> int:
+def _body_nbytes(obj: Any) -> int:
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):

@@ -27,6 +27,7 @@ from repro.simmpi.message import payload_nbytes
 from repro.simmpi.ops import Compute, Local, Recv, Send
 from repro.simmpi.trace import Trace
 from repro.util.errors import SimulationError
+from repro.util.validation import runtime_checks_enabled
 
 
 @dataclass
@@ -93,7 +94,7 @@ class Simulator:
         n_ranks: int,
         threads_per_rank: int = 1,
         trace: bool = False,
-    ):
+    ) -> None:
         if n_ranks < 1:
             raise SimulationError("n_ranks must be >= 1")
         self.machine = machine
@@ -101,7 +102,7 @@ class Simulator:
         self.threads = int(threads_per_rank)
         self.enable_trace = bool(trace)
 
-    def run(self, program: Callable, *args, **kwargs) -> SimResult:
+    def run(self, program: Callable, *args: Any, **kwargs: Any) -> SimResult:
         """Execute ``program(comm, *args, **kwargs)`` on every rank.
 
         *program* must be a generator function taking the communicator as
@@ -151,6 +152,8 @@ class Simulator:
             key = (dst, src, op.tag)
             mailbox.setdefault(key, []).append((arrival, op.payload, nbytes))
             ledger.record_send(src, dst, nbytes, hops)
+            if trace is not None:
+                trace.comm.add("send", clock[src], src, dst, op.tag, nbytes)
             # Wake the receiver if it is blocked on this message.
             if blocked.get(dst) == (src, op.tag):
                 del blocked[dst]
@@ -166,6 +169,8 @@ class Simulator:
             stats[r].wait_time += wait
             clock[r] = max(clock[r], arrival)
             ledger.record_recv(r, nbytes)
+            if trace is not None:
+                trace.comm.add("recv", clock[r], r, key[1], key[2], nbytes)
             resume_value[r] = payload
             heapq.heappush(ready, (clock[r], r))
 
@@ -175,10 +180,14 @@ class Simulator:
                 waiting = {
                     r: blocked[r] for r in sorted(blocked)
                 }
-                raise SimulationError(
+                err = SimulationError(
                     f"deadlock: {p - n_done} rank(s) blocked, none runnable; "
                     f"blocked on {waiting}"
                 )
+                # Attach the partial trace so post-mortem tooling
+                # (repro.check.commcheck) can reconstruct the wait-for graph.
+                err.trace = trace  # type: ignore[attr-defined]
+                raise err
             t, r = heapq.heappop(ready)
             if done[r] or r in blocked or t < clock[r] - 1e-30:
                 continue  # stale entry
@@ -218,6 +227,8 @@ class Simulator:
                     _complete_recv(r, key)
                 else:
                     blocked[r] = (op.source, op.tag)
+                    if trace is not None:
+                        trace.comm.add("block", clock[r], r, op.source, op.tag)
             elif isinstance(op, Local):
                 heapq.heappush(ready, (clock[r], r))
             else:
@@ -228,6 +239,17 @@ class Simulator:
         makespan = max(clock) if clock else 0.0
         for s in stats:
             s.finish_time = clock[s.rank]
+        if runtime_checks_enabled():
+            # Debug-mode teardown invariants (REPRO_CHECK=1): every sent
+            # message was consumed, and the ledger conserves counts/bytes.
+            if mailbox:
+                leftover = sorted(mailbox)[:5]
+                raise SimulationError(
+                    f"{sum(len(v) for v in mailbox.values())} message(s) "
+                    f"sent but never received; first keys (dst, src, tag): "
+                    f"{leftover}"
+                )
+            ledger.verify()
         return SimResult(
             makespan=makespan,
             returns=returns,

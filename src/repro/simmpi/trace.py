@@ -5,13 +5,26 @@ compute region, send injection, and receive wait is recorded as a
 ``TraceEvent``. :mod:`repro.analysis.tracing` renders these as per-rank
 timelines and phase breakdowns (the data behind gantt-style figures in
 solver papers).
+
+The same switch also records a :class:`CommTrace` — the message-level
+event log (every send, receive completion, and receive block with rank,
+peer, tag, bytes, and timestamp). :mod:`repro.check.commcheck` replays
+this log to detect unmatched messages, conservation violations, wait-for
+cycles, and order-nondeterministic receive pairs. ``CommTrace`` round-trips
+through JSON lines so traces can be archived and checked offline
+(``python -m repro.cli check --comm trace.jsonl``).
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from typing import IO, Hashable, Iterable, Iterator
 
 KINDS = ("compute", "send", "wait")
+
+#: message-level event kinds recorded in a :class:`CommTrace`
+COMM_KINDS = ("send", "recv", "block")
 
 
 @dataclass(frozen=True)
@@ -30,11 +43,152 @@ class TraceEvent:
         return self.end - self.start
 
 
+@dataclass(frozen=True)
+class CommEvent:
+    """One message-level event.
+
+    ``rank`` is the acting rank: the sender for ``"send"``, the receiver
+    for ``"recv"`` and ``"block"``. ``peer`` is the other side of the
+    (intended) message: destination for sends, source for receives and
+    blocks. ``tag`` is the canonical string form of the message tag (see
+    :func:`tag_key`); a send and the receive that consumed it carry the
+    same tag string.
+    """
+
+    kind: str  # "send" | "recv" | "block"
+    time: float
+    rank: int
+    peer: int
+    tag: str
+    nbytes: int = 0
+    #: global record order (assigned by :meth:`CommTrace.add`)
+    seq: int = -1
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": self.kind,
+                "time": self.time,
+                "rank": self.rank,
+                "peer": self.peer,
+                "tag": self.tag,
+                "nbytes": self.nbytes,
+                "seq": self.seq,
+            }
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "CommEvent":
+        d = json.loads(line)
+        return cls(
+            kind=str(d["kind"]),
+            time=float(d["time"]),
+            rank=int(d["rank"]),
+            peer=int(d["peer"]),
+            tag=str(d["tag"]),
+            nbytes=int(d.get("nbytes", 0)),
+            seq=int(d.get("seq", -1)),
+        )
+
+
+def tag_key(tag: Hashable) -> str:
+    """Canonical string form of a message tag.
+
+    Tags in the library are hashable trees of tuples/strings/ints; the
+    ``repr`` is stable across a run and across the JSONL round trip, which
+    is all the matching in commcheck needs.
+    """
+    return tag if isinstance(tag, str) else repr(tag)
+
+
+@dataclass
+class CommTrace:
+    """Append-only message-level event log of one simulation."""
+
+    events: list[CommEvent] = field(default_factory=list)
+
+    def add(
+        self,
+        kind: str,
+        time: float,
+        rank: int,
+        peer: int,
+        tag: Hashable,
+        nbytes: int = 0,
+    ) -> None:
+        if kind not in COMM_KINDS:
+            raise ValueError(f"unknown comm event kind {kind!r}")
+        self.events.append(
+            CommEvent(
+                kind=kind,
+                time=float(time),
+                rank=int(rank),
+                peer=int(peer),
+                tag=tag_key(tag),
+                nbytes=int(nbytes),
+                seq=len(self.events),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[CommEvent]:
+        return iter(self.events)
+
+    def for_rank(self, rank: int) -> list[CommEvent]:
+        return [e for e in self.events if e.rank == rank]
+
+    # -- JSONL round trip ---------------------------------------------------
+
+    def to_jsonl(self, fp: IO[str]) -> None:
+        """Write one JSON object per line to an open text stream."""
+        for e in self.events:
+            fp.write(e.to_json())
+            fp.write("\n")
+
+    def dump(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fp:
+            self.to_jsonl(fp)
+
+    @classmethod
+    def from_events(cls, events: Iterable[CommEvent]) -> "CommTrace":
+        """Build a trace from prebuilt events, renumbering ``seq`` by
+        position (hand-built test traces use this)."""
+        trace = cls()
+        for e in events:
+            trace.events.append(
+                CommEvent(
+                    kind=e.kind,
+                    time=e.time,
+                    rank=e.rank,
+                    peer=e.peer,
+                    tag=e.tag,
+                    nbytes=e.nbytes,
+                    seq=len(trace.events),
+                )
+            )
+        return trace
+
+    @classmethod
+    def from_jsonl(cls, fp: IO[str]) -> "CommTrace":
+        return cls.from_events(
+            CommEvent.from_json(line) for line in fp if line.strip()
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "CommTrace":
+        with open(path, "r", encoding="utf-8") as fp:
+            return cls.from_jsonl(fp)
+
+
 @dataclass
 class Trace:
     """Ordered event log of one simulation."""
 
     events: list[TraceEvent] = field(default_factory=list)
+    #: message-level log (populated alongside the timeline when tracing)
+    comm: CommTrace = field(default_factory=CommTrace)
 
     def add(self, rank: int, kind: str, start: float, end: float, detail: float = 0.0) -> None:
         if end > start:

@@ -7,7 +7,10 @@ folds together before conversion to CSR/CSC.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.util.validation import (
     as_float_array,
@@ -35,7 +38,13 @@ class COOMatrix:
 
     __slots__ = ("shape", "row", "col", "data")
 
-    def __init__(self, shape, row, col, data):
+    def __init__(
+        self,
+        shape: Sequence[int],
+        row: ArrayLike,
+        col: ArrayLike,
+        data: ArrayLike,
+    ) -> None:
         if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
             raise ShapeError(f"invalid shape {shape}")
         self.shape = (int(shape[0]), int(shape[1]))
@@ -58,13 +67,13 @@ class COOMatrix:
         return int(self.data.size)
 
     @classmethod
-    def empty(cls, shape) -> "COOMatrix":
+    def empty(cls, shape: Sequence[int]) -> "COOMatrix":
         """An all-zero matrix of the given shape."""
         z = np.empty(0, dtype=np.int64)
         return cls(shape, z, z, np.empty(0))
 
     @classmethod
-    def from_dense(cls, dense) -> "COOMatrix":
+    def from_dense(cls, dense: ArrayLike) -> "COOMatrix":
         """Build from a dense array, keeping exact nonzeros."""
         d = np.asarray(dense, dtype=np.float64)
         if d.ndim != 2:

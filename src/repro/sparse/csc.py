@@ -6,10 +6,18 @@ numeric phase walk columns of the lower triangle of A.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.util.errors import ShapeError
-from repro.util.validation import as_float_array, as_index_array, check_index_array
+from repro.util.validation import (
+    as_float_array,
+    as_index_array,
+    check_index_array,
+    runtime_checks_enabled,
+)
 
 
 class CSCMatrix:
@@ -22,12 +30,22 @@ class CSCMatrix:
 
     __slots__ = ("shape", "indptr", "indices", "data")
 
-    def __init__(self, shape, indptr, indices, data, *, _skip_check: bool = False):
+    def __init__(
+        self,
+        shape: Sequence[int],
+        indptr: ArrayLike,
+        indices: ArrayLike,
+        data: ArrayLike,
+        *,
+        _skip_check: bool = False,
+    ) -> None:
         self.shape = (int(shape[0]), int(shape[1]))
         self.indptr = as_index_array(indptr, "indptr")
         self.indices = as_index_array(indices, "indices")
         self.data = as_float_array(data, "data")
-        if not _skip_check:
+        # _skip_check is for trusted internal constructions; under
+        # REPRO_CHECK=1 the debug sanitizer re-validates those too.
+        if not _skip_check or runtime_checks_enabled():
             self._validate()
 
     def _validate(self) -> None:
@@ -71,7 +89,7 @@ class CSCMatrix:
         return out
 
     @classmethod
-    def from_dense(cls, dense) -> "CSCMatrix":
+    def from_dense(cls, dense: ArrayLike) -> "CSCMatrix":
         from repro.sparse.coo import COOMatrix
         from repro.sparse.convert import coo_to_csc
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import io
 from pathlib import Path
+from typing import IO, Union
 
 import numpy as np
 
@@ -17,7 +18,9 @@ from repro.sparse.coo import COOMatrix
 from repro.util.errors import ShapeError
 
 
-def read_matrix_market(path_or_file) -> tuple[COOMatrix, dict]:
+def read_matrix_market(
+    path_or_file: Union[str, Path, IO[str]],
+) -> tuple[COOMatrix, dict]:
     """Read a Matrix Market coordinate file.
 
     Returns ``(coo, info)`` where ``info`` carries the header fields
@@ -67,7 +70,11 @@ def read_matrix_market(path_or_file) -> tuple[COOMatrix, dict]:
             fh.close()
 
 
-def write_matrix_market(path_or_file, coo: COOMatrix, symmetric: bool = False) -> None:
+def write_matrix_market(
+    path_or_file: Union[str, Path, IO[str]],
+    coo: COOMatrix,
+    symmetric: bool = False,
+) -> None:
     """Write *coo* in Matrix Market coordinate real format.
 
     With ``symmetric=True`` only the lower triangle is emitted and the

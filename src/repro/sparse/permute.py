@@ -8,6 +8,7 @@ index eliminated at step k); the factorization operates on ``P A P^T`` where
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
@@ -22,7 +23,9 @@ def invert_permutation(perm: np.ndarray) -> np.ndarray:
     return inv
 
 
-def apply_permutation_csc(a: CSCMatrix, row_perm, col_perm) -> CSCMatrix:
+def apply_permutation_csc(
+    a: CSCMatrix, row_perm: ArrayLike, col_perm: ArrayLike
+) -> CSCMatrix:
     """General permuted copy ``B = A[row_perm_inv_map, col_perm_inv_map]``
     such that ``B[i, j] = A[row_perm[i], col_perm[j]]``."""
     n_rows, n_cols = a.shape
@@ -36,7 +39,7 @@ def apply_permutation_csc(a: CSCMatrix, row_perm, col_perm) -> CSCMatrix:
     )
 
 
-def permute_symmetric_lower(lower: CSCMatrix, perm) -> CSCMatrix:
+def permute_symmetric_lower(lower: CSCMatrix, perm: ArrayLike) -> CSCMatrix:
     """Symmetric permutation of a symmetric matrix stored as its lower
     triangle.
 

@@ -30,7 +30,7 @@ from repro.symbolic.supernodes import (
     supernode_rows,
 )
 from repro.util.errors import ShapeError
-from repro.util.validation import check_permutation
+from repro.util.validation import check_permutation, runtime_checks_enabled
 
 
 @dataclass(frozen=True)
@@ -192,7 +192,7 @@ def analyze(
     nnz_stored = sum(
         trapezoid_entries(r.size, part.width(s)) for s, r in enumerate(sn_rows)
     )
-    return SymbolicFactor(
+    sym = SymbolicFactor(
         n=n,
         perm=total_perm,
         permuted_lower=a2,
@@ -206,3 +206,8 @@ def analyze(
         factor_flops=factor_flops_from_counts(col_counts),
         solve_flops=solve_flops_from_counts(col_counts),
     )
+    if runtime_checks_enabled():
+        from repro.check.sanitize import check_symbolic
+
+        check_symbolic(sym)
+    return sym

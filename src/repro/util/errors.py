@@ -55,3 +55,17 @@ class PatternMismatchError(ShapeError):
 class SimulationError(ReproError, RuntimeError):
     """The simulated message-passing machine reached an invalid state
     (deadlock, mismatched message, rank failure)."""
+
+
+class InvariantError(ReproError, RuntimeError):
+    """A debug-mode invariant check failed (``repro.check.sanitize``).
+
+    Raised by the sanitizer hooks that run inside hot paths when
+    ``REPRO_CHECK=1`` — a corrupted CSR/CSC index structure, an invalid
+    permutation, an elimination-tree cycle, an uncovered supernode
+    partition, or an unbalanced frontal update stack."""
+
+
+class LintError(ReproError, ValueError):
+    """Static analysis (``repro.check.lint``) could not process an input
+    (unreadable file, syntax error in a linted source)."""

@@ -7,6 +7,8 @@ corrupting a factorization halfway through.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.util.errors import ShapeError
@@ -15,6 +17,34 @@ from repro.util.errors import ShapeError
 INDEX_DTYPE = np.int64
 #: Canonical floating dtype for values throughout the library.
 VALUE_DTYPE = np.float64
+
+# -- debug-mode runtime checks (the REPRO_CHECK switch) ----------------------
+#
+# Hot paths that normally skip validation (``_skip_check=True`` matrix
+# constructors, the analyze pipeline, the frontal stack, the simulator
+# teardown) consult this switch and run the ``repro.check.sanitize``
+# invariant checks when it is on. The switch lives here — at the bottom of
+# the dependency graph — so every layer can read it without import cycles.
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+_runtime_checks: bool = os.environ.get("REPRO_CHECK", "").strip().lower() in _TRUTHY
+
+
+def runtime_checks_enabled() -> bool:
+    """True when debug-mode invariant checks are active (``REPRO_CHECK=1``)."""
+    return _runtime_checks
+
+
+def set_runtime_checks(enabled: bool) -> bool:
+    """Force the runtime-check switch; returns the previous value.
+
+    Tests and the self-test harness use this to exercise sanitizer hooks
+    without re-importing under a different environment.
+    """
+    global _runtime_checks
+    previous = _runtime_checks
+    _runtime_checks = bool(enabled)
+    return previous
 
 
 def as_index_array(a, name: str = "array") -> np.ndarray:

@@ -1,0 +1,374 @@
+"""Tests for repro.check: the lint rules, the comm race/deadlock detector,
+and the debug-mode invariant sanitizer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.check import commcheck, lint, sanitize
+from repro.check.selftest import run_self_test
+from repro.cli import main as cli_main
+from repro.gen import grid2d_laplacian
+from repro.graph import AdjacencyGraph
+from repro.machine import GENERIC_CLUSTER
+from repro.ordering import nested_dissection_order
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.simmpi import CommTrace, MessageLedger, Simulator, tag_key
+from repro.symbolic import analyze
+from repro.util.errors import InvariantError, SimulationError
+from repro.util.validation import runtime_checks_enabled
+
+pytestmark = pytest.mark.check
+
+
+def analyzed_grid(n=6):
+    lower = grid2d_laplacian(n)
+    perm = nested_dissection_order(AdjacencyGraph.from_symmetric_lower(lower))
+    return lower, analyze(lower, perm)
+
+
+# -- lint --------------------------------------------------------------------
+
+
+class TestLintRules:
+    def run(self, source, module="repro.mf.fixture", path="<test>"):
+        return lint.lint_source(source, path=path, module=module)
+
+    def codes(self, source, **kw):
+        return [f.rule for f in self.run(source, **kw)]
+
+    def test_rp001_bare_except(self):
+        src = "try:\n    f()\nexcept:\n    pass\n"
+        assert "RP001" in self.codes(src)
+
+    def test_rp001_swallowed_exception(self):
+        src = "try:\n    f()\nexcept Exception:\n    log()\n"
+        assert "RP001" in self.codes(src)
+
+    def test_rp001_reraise_is_clean(self):
+        src = "try:\n    f()\nexcept Exception:\n    raise\n"
+        assert "RP001" not in self.codes(src)
+
+    def test_rp001_typed_catch_is_clean(self):
+        src = "try:\n    f()\nexcept ValueError:\n    g()\n"
+        assert "RP001" not in self.codes(src)
+
+    def test_rp002_index_mutation_outside_sparse(self):
+        src = "def f(m):\n    m.indptr[0] = 3\n"
+        assert "RP002" in self.codes(src, module="repro.mf.fixture")
+
+    def test_rp002_allowed_inside_repro_sparse(self):
+        src = "def f(m):\n    m.indptr[0] = 3\n"
+        assert "RP002" not in self.codes(src, module="repro.sparse.fixture")
+
+    def test_rp002_self_attribute_construction_exempt(self):
+        src = "class C:\n    def __init__(self, p):\n        self.indptr = p\n"
+        assert "RP002" not in self.codes(src)
+
+    def test_rp003_narrow_dtype_in_kernel(self):
+        src = "import numpy as np\n\ndef f():\n    return np.zeros(4, dtype=np.int32)\n"
+        assert "RP003" in self.codes(src, module="repro.sparse.fixture")
+
+    def test_rp003_canonical_dtypes_allowed(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f():\n"
+            "    a = np.zeros(4, dtype=np.int64)\n"
+            "    b = np.zeros(4, dtype=np.float64)\n"
+            "    c = np.zeros(4, dtype=bool)\n"
+            "    return a, b, c\n"
+        )
+        assert "RP003" not in self.codes(src, module="repro.sparse.fixture")
+
+    def test_rp004_print_in_library(self):
+        src = "def f(x):\n    print(x)\n"
+        assert "RP004" in self.codes(src)
+
+    def test_rp004_print_allowed_in_cli(self):
+        src = "def f(x):\n    print(x)\n"
+        assert "RP004" not in self.codes(src, module="repro.cli")
+
+    def test_rp005_init_without_all(self):
+        src = "from repro.util.errors import ReproError\n"
+        found = self.codes(src, module="repro.fixture", path="fixture/__init__.py")
+        assert "RP005" in found
+
+    def test_rp005_init_with_all_is_clean(self):
+        src = (
+            "from repro.util.errors import ReproError\n\n"
+            '__all__ = ["ReproError"]\n'
+        )
+        found = self.codes(src, module="repro.fixture", path="fixture/__init__.py")
+        assert "RP005" not in found
+
+    def test_rp006_unused_import(self):
+        src = "import os\n\n\ndef f() -> int:\n    return 1\n"
+        assert "RP006" in self.codes(src)
+
+    def test_rp006_used_import_is_clean(self):
+        src = "import os\n\n\ndef f() -> str:\n    return os.sep\n"
+        assert "RP006" not in self.codes(src)
+
+    def test_noqa_suppression(self):
+        src = "def f(x):\n    print(x)  # repro: noqa[RP004]\n"
+        assert self.run(src) == []
+
+    def test_noqa_with_other_id_does_not_suppress(self):
+        src = "def f(x):\n    print(x)  # repro: noqa[RP001]\n"
+        assert "RP004" in self.codes(src)
+
+    def test_findings_carry_location(self):
+        src = "def f(x):\n    print(x)\n"
+        (finding,) = self.run(src)
+        assert finding.line == 2
+        assert finding.path == "<test>"
+
+
+class TestLintRepo:
+    def test_repo_is_lint_clean(self):
+        findings = lint.lint_paths(["src/repro"])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_cli_exit_zero_on_clean_tree(self):
+        assert cli_main(["check", "--lint", "src/repro"]) == 0
+
+    def test_cli_exit_nonzero_on_seeded_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "mf" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("try:\n    f()\nexcept:\n    pass\n")
+        rc = cli_main(["check", "--lint", str(bad)])
+        assert rc == 1
+        assert "RP001" in capsys.readouterr().out
+
+
+# -- commcheck ---------------------------------------------------------------
+
+
+def deadlock_trace():
+    t = CommTrace()
+    t.add("block", 0.0, rank=0, peer=1, tag="t")
+    t.add("block", 0.0, rank=1, peer=0, tag="t")
+    return t
+
+
+class TestCommCheck:
+    def test_deadlock_cycle_detected(self):
+        report = commcheck.check_trace(deadlock_trace())
+        assert not report.ok
+        assert any(f.code == "deadlock" for f in report.errors)
+
+    def test_lost_message_detected(self):
+        t = CommTrace()
+        t.add("send", 0.0, rank=0, peer=1, tag="t", nbytes=64)
+        report = commcheck.check_trace(t)
+        assert any(f.code == "unmatched-send" for f in report.errors)
+
+    def test_recv_without_send_detected(self):
+        t = CommTrace()
+        t.add("recv", 1.0, rank=1, peer=0, tag="t", nbytes=64)
+        report = commcheck.check_trace(t)
+        assert any(f.code == "unmatched-recv" for f in report.errors)
+
+    def test_race_is_warning_not_error(self):
+        t = CommTrace()
+        t.add("send", 0.0, rank=0, peer=2, tag="t", nbytes=64)
+        t.add("send", 0.5, rank=0, peer=2, tag="t", nbytes=64)
+        t.add("recv", 1.0, rank=2, peer=0, tag="t", nbytes=64)
+        t.add("recv", 2.0, rank=2, peer=0, tag="t", nbytes=64)
+        report = commcheck.check_trace(t)
+        assert report.ok
+        assert any(f.code == "race" for f in report.warnings)
+
+    def test_clean_trace_passes(self):
+        t = CommTrace()
+        t.add("send", 0.0, rank=0, peer=1, tag="t", nbytes=64)
+        t.add("recv", 1.0, rank=1, peer=0, tag="t", nbytes=64)
+        report = commcheck.check_trace(t)
+        assert report.ok and not report.warnings
+
+    def test_ledger_conservation_violation(self):
+        ledger = MessageLedger(2)
+        ledger.record_send(0, 1, 64, 1)
+        # Receive never recorded: trace says delivered, ledger disagrees.
+        t = CommTrace()
+        t.add("send", 0.0, rank=0, peer=1, tag="t", nbytes=64)
+        t.add("recv", 1.0, rank=1, peer=0, tag="t", nbytes=64)
+        report = commcheck.check_trace(t, ledger=ledger)
+        assert any(f.code == "conservation" for f in report.errors)
+
+    def test_traced_simulation_is_clean(self):
+        _, sym = analyzed_grid(8)
+        res = simulate_factorization(
+            sym, 4, GENERIC_CLUSTER, PlanOptions(nb=4), trace=True
+        )
+        report = commcheck.check_sim_result(res.sim)
+        assert report.ok, report.summary()
+        assert report.n_messages_matched > 0
+
+    def test_untraced_result_is_rejected(self):
+        _, sym = analyzed_grid(6)
+        res = simulate_factorization(sym, 2, GENERIC_CLUSTER, PlanOptions(nb=4))
+        with pytest.raises(SimulationError):
+            commcheck.check_sim_result(res.sim)
+
+    def test_jsonl_round_trip(self):
+        t = CommTrace()
+        t.add("send", 0.25, rank=0, peer=1, tag=("p2p", ("world",), 7), nbytes=128)
+        t.add("recv", 0.75, rank=1, peer=0, tag=("p2p", ("world",), 7), nbytes=128)
+        t.add("block", 0.5, rank=1, peer=0, tag="x")
+        buf = io.StringIO()
+        t.to_jsonl(buf)
+        buf.seek(0)
+        back = CommTrace.from_jsonl(buf)
+        assert list(back) == list(t)
+
+    def test_tag_key_canonicalizes(self):
+        assert tag_key("t") == "t"
+        assert tag_key(("p2p", 0, 1)) == repr(("p2p", 0, 1))
+
+
+# -- ledger + scheduler teardown ---------------------------------------------
+
+
+class TestLedgerVerify:
+    def test_verify_passes_consistent_ledger(self):
+        ledger = MessageLedger(2)
+        ledger.record_send(0, 1, 64, 1)
+        ledger.record_recv(1, 64)
+        ledger.verify()
+
+    def test_verify_flags_tampered_counts(self):
+        ledger = MessageLedger(2)
+        ledger.record_send(0, 1, 64, 1)
+        with pytest.raises(SimulationError):
+            ledger.verify()
+
+    def test_scheduler_teardown_flags_unreceived_message(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(b"x" * 32, 1, "orphan")
+            return comm.rank
+
+        with sanitize.sanitized(True):
+            with pytest.raises(SimulationError):
+                Simulator(GENERIC_CLUSTER, 2).run(prog)
+
+    def test_scheduler_teardown_passes_clean_program(self):
+        def prog(comm):
+            if comm.rank == 0:
+                yield comm.send(b"x" * 32, 1, "t")
+            elif comm.rank == 1:
+                yield comm.recv(0, "t")
+            return comm.rank
+
+        with sanitize.sanitized(True):
+            result = Simulator(GENERIC_CLUSTER, 2).run(prog)
+        assert result.ledger.n_messages == 1
+
+
+# -- sanitizer ---------------------------------------------------------------
+
+
+class _Duck:
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+def duck_csc(shape, indptr, indices, data):
+    return _Duck(
+        shape=shape,
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        data=np.asarray(data, dtype=np.float64),
+    )
+
+
+class TestSanitizer:
+    def test_well_formed_csc_accepted(self):
+        sanitize.check_csc(duck_csc((2, 2), [0, 2, 3], [0, 1, 1], [1.0, 2.0, 3.0]))
+
+    def test_unsorted_indices_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_csc(
+                duck_csc((3, 2), [0, 2, 3], [2, 0, 1], [1.0, 2.0, 3.0])
+            )
+
+    def test_ragged_indptr_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_csc(
+                duck_csc((2, 2), [0, 5, 3], [0, 1, 1], [1.0, 2.0, 3.0])
+            )
+
+    def test_nonfinite_data_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_csc(
+                duck_csc((2, 2), [0, 2, 3], [0, 1, 1], [1.0, np.nan, 3.0])
+            )
+
+    def test_cyclic_etree_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_etree(np.asarray([1, 2, 0], dtype=np.int64))
+
+    def test_valid_etree_accepted(self):
+        sanitize.check_etree(np.asarray([1, 2, -1], dtype=np.int64))
+
+    def test_non_postordered_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_postordered(np.asarray([-1, 0], dtype=np.int64))
+
+    def test_invalid_permutation_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_permutation(np.asarray([0, 0, 2], dtype=np.int64), 3)
+
+    def test_partition_must_cover_columns(self):
+        part = _Duck(
+            sn_start=np.asarray([0, 2], dtype=np.int64),
+            col_to_sn=np.asarray([0, 0], dtype=np.int64),
+        )
+        with pytest.raises(InvariantError):
+            sanitize.check_partition(part, 3)
+
+    def test_frontal_stack_leak_rejected(self):
+        with pytest.raises(InvariantError):
+            sanitize.check_frontal_balance(128, {})
+
+    def test_symbolic_factor_passes(self):
+        _, sym = analyzed_grid(6)
+        sanitize.check_symbolic(sym)
+
+    def test_corrupted_symbolic_factor_rejected(self):
+        _, sym = analyzed_grid(6)
+        sym.partition.sn_start[-1] += 1  # break partition coverage
+        with pytest.raises(InvariantError):
+            sanitize.check_symbolic(sym)
+
+    def test_sanitized_context_toggles_flag(self):
+        before = runtime_checks_enabled()
+        with sanitize.sanitized(True):
+            assert runtime_checks_enabled()
+        assert runtime_checks_enabled() == before
+
+    def test_end_to_end_factorization_under_sanitizer(self):
+        from repro import SparseSolver
+
+        lower = grid2d_laplacian(5)
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal(lower.shape[0])
+        with sanitize.sanitized(True):
+            result = SparseSolver(lower).solve(b)
+        assert np.all(np.isfinite(result.x))
+        assert result.residual < 1e-8
+
+
+# -- self-test ---------------------------------------------------------------
+
+
+class TestSelfTest:
+    def test_self_test_passes(self):
+        results = run_self_test()
+        failures = [r for r in results if not r.passed]
+        assert not failures, "\n".join(r.format() for r in failures)
+
+    def test_cli_self_test_exit_zero(self):
+        assert cli_main(["check", "--self-test"]) == 0

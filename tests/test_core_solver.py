@@ -18,7 +18,7 @@ from repro.baselines import (
     sequential_reference_time,
 )
 from repro.core import AnalyzeInfo, ParallelConfig, SparseSolver
-from repro.gen import grid2d_laplacian, grid3d_laplacian
+from repro.gen import grid3d_laplacian
 from repro.machine import BLUEGENE_P, GENERIC_CLUSTER
 from repro.parallel import PlanOptions, simulate_factorization
 from repro.sparse import CSCMatrix

@@ -8,7 +8,6 @@ same call paths; running them here would dominate suite time.
 import sys
 from pathlib import Path
 
-import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "examples"))
 

@@ -6,9 +6,8 @@ import scipy.linalg
 
 from repro.core import UnsymmetricSolver
 from repro.gen import convection_diffusion2d, grid2d_laplacian
-from repro.mf.lu import lu_analyze, lu_solve, multifrontal_lu
 from repro.sparse import CSCMatrix
-from repro.sparse.ops import full_symmetric_from_lower, matvec_csc
+from repro.sparse.ops import full_symmetric_from_lower
 from repro.util.errors import ShapeError, SingularMatrixError
 from repro.util.rng import make_rng
 

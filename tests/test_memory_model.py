@@ -1,6 +1,5 @@
 """Tests for the symbolic memory predictor against the executing engine."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.memory import (

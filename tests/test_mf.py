@@ -3,7 +3,6 @@ against dense oracles, solves, refinement, accounting."""
 
 import numpy as np
 import pytest
-import scipy.linalg
 from hypothesis import given, settings, strategies as st
 
 from repro.gen import (

@@ -1,6 +1,5 @@
 """Small-surface tests for corners not covered elsewhere."""
 
-import numpy as np
 import pytest
 
 from repro.machine import BLUEGENE_P, GENERIC_CLUSTER, MachineModel, Torus3D

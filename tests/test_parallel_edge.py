@@ -8,7 +8,7 @@ from repro.gen import grid2d_laplacian
 from repro.graph import AdjacencyGraph
 from repro.machine import GENERIC_CLUSTER
 from repro.mf import multifrontal_factor
-from repro.ordering import natural_order, nested_dissection_order
+from repro.ordering import nested_dissection_order
 from repro.parallel import PlanOptions, simulate_factorization, simulate_solve
 from repro.sparse import CSCMatrix
 from repro.sparse.ops import sym_matvec_lower

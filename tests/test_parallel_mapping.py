@@ -3,9 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.gen import grid2d_laplacian, grid3d_laplacian
+from repro.gen import grid3d_laplacian
 from repro.graph import AdjacencyGraph
-from repro.ordering import nested_dissection_order, amd_order
+from repro.ordering import nested_dissection_order
 from repro.parallel import (
     map_supernodes_to_ranks,
     ProcessGrid,

@@ -10,13 +10,11 @@ from repro.core import ParallelConfig, SparseSolver
 from repro.gen import grid2d_laplacian, grid3d_laplacian, random_spd_sparse
 from repro.machine import GENERIC_CLUSTER
 from repro.service import (
-    COMPLETED,
     EXPIRED,
     FAILED,
     TIMED_OUT,
     AnalysisCache,
     AnalysisEntry,
-    JobQueue,
     ServiceConfig,
     SolverService,
     pattern_fingerprint,

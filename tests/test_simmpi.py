@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.machine import MachineModel, FlatTopology
-from repro.simmpi import Comm, Compute, Local, Recv, Send, Simulator, payload_nbytes
+from repro.simmpi import Comm, Compute, Local, Send, Simulator, payload_nbytes
 from repro.simmpi.message import ENVELOPE_BYTES
 from repro.util.errors import SimulationError
 

@@ -4,15 +4,12 @@ import io
 
 import numpy as np
 import pytest
-import scipy.sparse as sps
 from hypothesis import given, settings, strategies as st
 
 from repro.sparse import (
     COOMatrix,
     CSCMatrix,
     CSRMatrix,
-    coo_to_csc,
-    coo_to_csr,
     matvec_csr,
     matvec_csc,
     transpose_csr,

@@ -20,12 +20,10 @@ from repro.symbolic import (
     column_patterns,
     symbolic_cholesky,
     fundamental_supernodes,
-    amalgamate,
     analyze,
     AnalyzeOptions,
 )
 from repro.symbolic.postorder import relabel_parent, first_descendants
-from repro.symbolic.supernodes import supernode_parents, supernode_rows
 from repro.symbolic.analyze import dense_partial_factor_flops
 from repro.util.errors import ShapeError
 
