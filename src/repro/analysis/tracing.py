@@ -48,7 +48,9 @@ def ascii_gantt(trace: Trace, n_ranks: int, width: int = 72) -> str:
     for r in range(n_ranks):
         row = [" "] * width
         for e in trace.for_rank(r):
-            a = int(e.start / span * width)
+            # Clamp: a zero-duration event exactly at the trace end would
+            # compute a == width and silently fall off the row.
+            a = min(int(e.start / span * width), width - 1)
             b = max(int(e.end / span * width), a + 1)
             for i in range(a, min(b, width)):
                 # Compute wins over send wins over wait when buckets collide.

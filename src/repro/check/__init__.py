@@ -2,7 +2,7 @@
 
 Three passes, one CLI (``python -m repro.cli check``):
 
-* :mod:`repro.check.lint` — project-specific AST lint (rules RP001…RP006)
+* :mod:`repro.check.lint` — project-specific AST lint (rules RP001…RP007)
   with inline ``# repro: noqa[RPxxx]`` suppression;
 * :mod:`repro.check.commcheck` — replays a :class:`~repro.simmpi.trace.
   CommTrace` and flags unmatched messages, conservation violations,

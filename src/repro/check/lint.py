@@ -14,6 +14,7 @@ RP003  numpy dtype discipline in kernel packages (mf, sparse, symbolic)
 RP004  no ``print`` in library code (CLI excluded)
 RP005  package ``__init__`` modules must declare ``__all__``
 RP006  unused imports (``__all__``-aware; ``__init__`` re-exports exempt)
+RP007  no direct ``time.perf_counter()`` outside timing/observability code
 
 Run via ``python -m repro.cli check --lint [PATHS…]`` or
 :func:`lint_paths`.
@@ -469,6 +470,53 @@ def _declared_all(tree: ast.Module) -> set[str]:
     return set()
 
 
+# -- RP007 -------------------------------------------------------------------
+
+#: modules allowed to call the raw clock: the timing helper itself and the
+#: observability layer that funnels everything else
+_CLOCK_EXEMPT_PREFIXES = ("repro.util.timing", "repro.obs")
+
+_CLOCK_CALLS = frozenset({"perf_counter", "perf_counter_ns"})
+
+
+class NoDirectPerfCounterRule(LintRule):
+    """RP007: no direct ``time.perf_counter()`` in library code.
+
+    Host timing must flow through :class:`repro.util.timing.WallTimer`,
+    :func:`repro.obs.spans.span`, or the profile's ``clock`` hook so that
+    every measurement is visible to the observability layer (and so the
+    disabled path stays clock-free). Only ``repro.util.timing`` and
+    ``repro.obs`` itself may touch the raw clock.
+    """
+
+    id = "RP007"
+    title = "direct perf_counter() outside timing/obs"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro and not any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in _CLOCK_EXEMPT_PREFIXES
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            f = node.func
+            name: str | None = None
+            if isinstance(f, ast.Attribute) and f.attr in _CLOCK_CALLS:
+                name = f.attr
+            elif isinstance(f, ast.Name) and f.id in _CLOCK_CALLS:
+                name = f.id
+            if name is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct {name}() — time through repro.obs spans or "
+                    "repro.util.timing.WallTimer",
+                )
+
+
 # -- engine ------------------------------------------------------------------
 
 DEFAULT_RULES: tuple[type[LintRule], ...] = (
@@ -478,6 +526,7 @@ DEFAULT_RULES: tuple[type[LintRule], ...] = (
     NoPrintRule,
     InitNeedsAllRule,
     UnusedImportRule,
+    NoDirectPerfCounterRule,
 )
 
 #: id → one-line description (the DESIGN.md rule catalog is generated

@@ -90,6 +90,13 @@ _LINT_CASES: tuple[tuple[str, str, str, str, int], ...] = (
         "import os\n\n\ndef f() -> int:\n    return 1\n",
         1,
     ),
+    (
+        "RP007",
+        "repro.mf.fixture",
+        "<selftest>",
+        "import time\n\n\ndef f() -> float:\n    return time.perf_counter()\n",
+        1,
+    ),
 )
 
 _CLEAN_SOURCE = (

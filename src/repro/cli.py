@@ -10,7 +10,10 @@ Subcommands mirror the workflow of the library:
 * ``serve-sim``— replay a synthetic transient-FE request trace through the
   serving layer (``repro.service``) and print its metrics report;
 * ``check``    — correctness tooling (``repro.check``): project lint,
-  comm-trace race/deadlock analysis, and the checker self-test.
+  comm-trace race/deadlock analysis, and the checker self-test;
+* ``obs``      — observability run (``repro.obs``): solve + simulate one
+  problem under span recording, print phase/metrics/hot-front reports,
+  and export a merged Chrome trace (``--trace-out``).
 
 Problems come from ``--mesh KIND:SIZE`` (generators) or ``--matrix FILE``
 (Matrix Market). Run ``python -m repro.cli <cmd> --help`` for options.
@@ -356,6 +359,80 @@ def cmd_check(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_obs(args) -> int:
+    """One observed end-to-end run: analyze/factor/solve on the host plus a
+    traced parallel simulation, all under span recording; then report and
+    export."""
+    from repro.obs import export as obs_export
+    from repro.obs import spans as obs_spans
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel import PlanOptions, simulate_factorization, simulate_solve
+
+    if not args.mesh and not args.matrix:
+        args.mesh = "plate:8"
+    a = build_matrix(args)
+    n = a.shape[0]
+    machine = get_machine(args.machine)
+    b = np.ones(n)
+    with obs_spans.recording() as rec:
+        solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+        solver.analyze()
+        solver.factor()
+        res = solver.solve(b)
+        fres = simulate_factorization(
+            solver.sym,
+            args.ranks,
+            machine,
+            PlanOptions(nb=args.nb),
+            method=args.method,
+            threads_per_rank=args.threads,
+            trace=True,
+        )
+        sres = simulate_solve(fres, b)
+
+    registry = MetricsRegistry()
+    registry.gauge("problem_n").set(n)
+    registry.gauge("problem_nnz").set(a.nnz)
+    registry.gauge("sim_ranks").set(args.ranks)
+    registry.inc("sim_messages", fres.sim.ledger.n_messages)
+    registry.inc("factor_flops", fres.total_flops)
+    for name, (_count, total) in rec.phase_totals().items():
+        registry.observe(name, total)
+    front_buckets = (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0)
+    for fr in rec.profile.host:
+        registry.observe("front_order", float(fr.m), buckets=front_buckets)
+
+    print(
+        obs_export.report(
+            rec,
+            registry if args.metrics else None,
+            machine,
+            top_fronts=args.top_fronts,
+            threads=args.threads,
+        )
+    )
+    print()
+    print(
+        f"host residual {res.residual:.3e}; simulated factor "
+        f"{fres.makespan * 1e3:.3f} ms on {args.ranks} ranks of "
+        f"{machine.name} ({fres.gflops:.2f} GF/s, "
+        f"{fres.peak_fraction * 100:.1f}% of peak), solve "
+        f"{sres.makespan * 1e3:.3f} ms"
+    )
+    if args.trace_out:
+        obs_export.write_chrome_trace(
+            args.trace_out,
+            recorder=rec,
+            sim_trace=fres.sim.trace,
+            include_comm=args.comm_events,
+        )
+        print(f"chrome trace written to {args.trace_out}")
+    if args.prom_out:
+        obs_export.write_prometheus(args.prom_out, registry)
+        print(f"prometheus metrics written to {args.prom_out}")
+    return 0 if res.residual < 1e-8 else 1
+
+
 def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mesh", help="generator problem, e.g. cube:12")
     p.add_argument("--matrix", help="Matrix Market file")
@@ -474,6 +551,44 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--matrix", help=argparse.SUPPRESS)
     p.add_argument("--mesh", help=argparse.SUPPRESS)
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "obs",
+        help="observed end-to-end run: span report, metrics, Chrome trace",
+    )
+    _add_common(p)
+    p.add_argument("--ranks", type=int, default=4, help="simulated rank count")
+    p.add_argument("--machine", default="generic-cluster")
+    p.add_argument("--nb", type=int, default=32)
+    p.add_argument("--threads", type=int, default=1)
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the merged Chrome trace-event JSON (host + sim ranks)",
+    )
+    p.add_argument(
+        "--comm-events",
+        action="store_true",
+        help="include per-message instant events in the trace",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry report",
+    )
+    p.add_argument(
+        "--top-fronts",
+        type=int,
+        default=0,
+        metavar="K",
+        help="print the K hottest fronts and measured-vs-modeled GFLOPS",
+    )
+    p.add_argument(
+        "--prom-out",
+        metavar="FILE",
+        help="write Prometheus text exposition of the metrics",
+    )
+    p.set_defaults(func=cmd_obs)
     return parser
 
 

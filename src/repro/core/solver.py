@@ -31,6 +31,7 @@ from repro.machine.presets import GENERIC_CLUSTER
 from repro.mf.numeric import NumericFactor, multifrontal_factor
 from repro.mf.refine import iterative_refinement
 from repro.mf.solve_phase import solve as mf_solve
+from repro.obs.spans import span
 from repro.ordering.registry import get_ordering
 from repro.parallel.driver import (
     ParallelFactorResult,
@@ -179,13 +180,17 @@ class SparseSolver:
 
     def analyze(self) -> AnalyzeInfo:
         """Ordering + symbolic factorization (once per pattern)."""
-        with WallTimer() as t:
+        with span(
+            "solver.analyze", n=self.lower.shape[0], nnz=self.lower.nnz
+        ), WallTimer() as t:
             if isinstance(self.ordering, str):
-                graph = AdjacencyGraph.from_symmetric_lower(self.lower)
-                perm = get_ordering(self.ordering)(graph)
+                with span("solver.ordering", ordering=self.ordering):
+                    graph = AdjacencyGraph.from_symmetric_lower(self.lower)
+                    perm = get_ordering(self.ordering)(graph)
             else:
                 perm = np.asarray(self.ordering, dtype=np.int64)
-            self.sym = analyze(self.lower, perm, self.analyze_options)
+            with span("solver.symbolic"):
+                self.sym = analyze(self.lower, perm, self.analyze_options)
         s = self.sym
         self._analyze_info = AnalyzeInfo(
             n=s.n,
@@ -204,11 +209,12 @@ class SparseSolver:
         """Sequential numeric factorization on the host."""
         if self.sym is None:
             self.analyze()
-        self.numeric = multifrontal_factor(
-            self.sym,
-            method=self.method,
-            pivot_perturbation=self.pivot_perturbation,
-        )
+        with span("solver.factor", method=self.method):
+            self.numeric = multifrontal_factor(
+                self.sym,
+                method=self.method,
+                pivot_perturbation=self.pivot_perturbation,
+            )
         return self.numeric
 
     def solve(self, b: np.ndarray, refine: bool = True, tol: float = 1e-12) -> SolveResult:
@@ -216,23 +222,24 @@ class SparseSolver:
         if self.numeric is None:
             self.factor()
         b = as_float_array(b, "b")
-        if refine:
-            res = iterative_refinement(
-                self.numeric, self.lower, b, tol=tol
-            )
+        with span("solver.solve", refine=refine):
+            if refine:
+                res = iterative_refinement(
+                    self.numeric, self.lower, b, tol=tol
+                )
+                return SolveResult(
+                    x=res.x,
+                    residual=res.residual_history[-1],
+                    refinement_iterations=res.iterations,
+                )
+            x = mf_solve(self.numeric, b)
+            r = b - sym_matvec_lower(self.lower, x)
+            denom = max(float(np.max(np.abs(b))), 1e-300)
             return SolveResult(
-                x=res.x,
-                residual=res.residual_history[-1],
-                refinement_iterations=res.iterations,
+                x=x,
+                residual=float(np.max(np.abs(r))) / denom,
+                refinement_iterations=0,
             )
-        x = mf_solve(self.numeric, b)
-        r = b - sym_matvec_lower(self.lower, x)
-        denom = max(float(np.max(np.abs(b))), 1e-300)
-        return SolveResult(
-            x=x,
-            residual=float(np.max(np.abs(r))) / denom,
-            refinement_iterations=0,
-        )
 
     # -- simulated parallel execution ---------------------------------------
 
@@ -252,14 +259,19 @@ class SparseSolver:
         """
         if self.sym is None:
             self.analyze()
-        fres = simulate_factorization(
-            self.sym,
-            config.n_ranks,
-            config.machine,
-            config.plan_options(),
-            method=self.method,
-            threads_per_rank=config.threads_per_rank,
-        )
+        with span(
+            "solver.simulate",
+            ranks=config.n_ranks,
+            machine=config.machine.name,
+        ):
+            fres = simulate_factorization(
+                self.sym,
+                config.n_ranks,
+                config.machine,
+                config.plan_options(),
+                method=self.method,
+                threads_per_rank=config.threads_per_rank,
+            )
         if verify:
             if self.numeric is None:
                 self.factor()
@@ -333,11 +345,12 @@ class SparseSolver:
         has a different structure.
         """
         self.update_values(new_a)
-        self.numeric = multifrontal_factor(
-            self.sym,
-            method=self.method,
-            pivot_perturbation=self.pivot_perturbation,
-        )
+        with span("solver.refactor", method=self.method):
+            self.numeric = multifrontal_factor(
+                self.sym,
+                method=self.method,
+                pivot_perturbation=self.pivot_perturbation,
+            )
         return self.numeric
 
     def condition_estimate(self, max_iter: int = 5) -> float:

@@ -17,6 +17,8 @@ from repro.dense.partial_factor import partial_cholesky, partial_ldlt
 from repro.mf.accounting import FactorStats
 from repro.mf.extend_add import extend_add
 from repro.mf.frontal import assemble_front
+from repro.obs.profile import active_profile
+from repro.obs.spans import span
 from repro.symbolic.analyze import SymbolicFactor, dense_partial_factor_flops
 from repro.util.errors import InvariantError, ShapeError
 from repro.util.validation import runtime_checks_enabled
@@ -127,42 +129,52 @@ def multifrontal_factor(
             stats.spill_entries_written += upd.size
             stack_entries -= upd.size
 
-    for s in range(nsn):
-        rows = sym.sn_rows[s]
-        w = sym.supernode_width(s)
-        c0 = int(sym.partition.sn_start[s])
-        enforce_memory_cap(rows.size * rows.size)
-        front = assemble_front(a, rows, c0, w)
-        for c in sym.sn_children[s]:
-            upd, upd_rows = updates.pop(c)
-            if c in spilled:
-                spilled.discard(c)
-                stats.spill_entries_read += upd.size
+    # Observability: one span over the numeric phase; per-front timing is
+    # recorded only when a recorder is installed (prof None check keeps the
+    # disabled path free of timing calls — see lint rule RP007).
+    prof = active_profile()
+
+    with span("mf.factor", method=method, n=sym.n, supernodes=nsn):
+        for s in range(nsn):
+            rows = sym.sn_rows[s]
+            w = sym.supernode_width(s)
+            c0 = int(sym.partition.sn_start[s])
+            enforce_memory_cap(rows.size * rows.size)
+            front = assemble_front(a, rows, c0, w)
+            for c in sym.sn_children[s]:
+                upd, upd_rows = updates.pop(c)
+                if c in spilled:
+                    spilled.discard(c)
+                    stats.spill_entries_read += upd.size
+                else:
+                    stack_entries -= upd.size
+                extend_add(front, rows, upd, upd_rows)
+            m = rows.size
+            t_front = prof.clock() if prof is not None else 0.0
+            if method == "cholesky":
+                partial_cholesky(front, w)
             else:
-                stack_entries -= upd.size
-            extend_add(front, rows, upd, upd_rows)
-        m = rows.size
-        if method == "cholesky":
-            partial_cholesky(front, w)
-        else:
-            d = partial_ldlt(
-                front,
-                w,
-                perturb=perturb_abs,
-                col_offset=c0,
-                perturbed=perturbed,
-            )
-            diag[c0: c0 + w] = d
-        blocks[s] = front[:, :w].copy()
-        stats.observe_front(m, w, dense_partial_factor_flops(m, w))
-        stats.factor_entries += m * w - w * (w - 1) // 2
-        if m > w:
-            update = front[w:, w:].copy()
-            updates[s] = (update, rows[w:])
-            stack_entries += update.size
-            stats.peak_stack_entries = max(stats.peak_stack_entries, stack_entries)
-            enforce_memory_cap(0)
-        del front
+                d = partial_ldlt(
+                    front,
+                    w,
+                    perturb=perturb_abs,
+                    col_offset=c0,
+                    perturbed=perturbed,
+                )
+                diag[c0: c0 + w] = d
+            front_flops = dense_partial_factor_flops(m, w)
+            if prof is not None:
+                prof.observe_front(s, m, w, front_flops, prof.clock() - t_front)
+            blocks[s] = front[:, :w].copy()
+            stats.observe_front(m, w, front_flops)
+            stats.factor_entries += m * w - w * (w - 1) // 2
+            if m > w:
+                update = front[w:, w:].copy()
+                updates[s] = (update, rows[w:])
+                stack_entries += update.size
+                stats.peak_stack_entries = max(stats.peak_stack_entries, stack_entries)
+                enforce_memory_cap(0)
+            del front
 
     if updates:
         raise InvariantError(

@@ -1,0 +1,287 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry is the numeric side of the observability layer: discrete
+events (jobs, cache hits, retries), level readings (queue depth, resident
+entries), and distributions (front size, per-supernode flops, queue wait,
+phase latency). Two histogram flavors coexist:
+
+* :class:`Histogram` — fixed upper-bound buckets with ``sum``/``count``,
+  cheap to record and exportable to the Prometheus text format
+  (:func:`repro.obs.export.prometheus_text`);
+* :class:`SampleHistogram` — keeps every sample for exact percentile
+  summaries (the serving layer's latency reports; simulated traffic
+  volumes make that affordable).
+
+Snapshots are immutable copies with *delta* semantics —
+``later.delta(earlier)`` is the traffic between two scrapes, which is how
+rate dashboards are built from cumulative counters.
+
+:class:`repro.service.metrics.ServiceMetrics` is now a compatibility shim
+over one of these registries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.report import LatencySummary
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "SampleHistogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+]
+
+#: log-spaced seconds buckets covering 100 µs .. 10 s (plus +Inf)
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
+
+
+class Counter:
+    """Monotone event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, by: float = 1.0) -> None:
+        if by < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += by
+
+
+class Gauge:
+    """Last-written level reading."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, by: float = 1.0) -> None:
+        self.value += by
+
+    def dec(self, by: float = 1.0) -> None:
+        self.value -= by
+
+
+class Histogram:
+    """Fixed-bucket distribution (cumulative counts, Prometheus-shaped).
+
+    ``buckets`` are ascending upper bounds; an implicit +Inf bucket
+    catches the tail. ``counts[i]`` is the number of samples ≤
+    ``buckets[i]`` boundaries — stored per-bucket here, cumulated at
+    export time.
+    """
+
+    __slots__ = ("name", "uppers", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> None:
+        uppers = tuple(float(b) for b in buckets)
+        if not uppers or any(
+            b >= a for a, b in zip(uppers[1:], uppers[:-1])
+        ):
+            raise ValueError("histogram buckets must be ascending and non-empty")
+        self.name = name
+        self.uppers = uppers
+        self.counts = [0] * (len(uppers) + 1)  # final slot = +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.uppers, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def snapshot(self) -> "HistogramSnapshot":
+        return HistogramSnapshot(
+            uppers=self.uppers,
+            counts=tuple(self.counts),
+            sum=self.sum,
+            count=self.count,
+        )
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable copy of one histogram's state."""
+
+    uppers: tuple[float, ...]
+    counts: tuple[int, ...]
+    sum: float
+    count: int
+
+    def cumulative(self) -> tuple[int, ...]:
+        """Prometheus-style running totals, one per bucket plus +Inf."""
+        out = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return tuple(out)
+
+    def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
+        if earlier.uppers != self.uppers:
+            raise ValueError("histogram bucket layouts differ")
+        return HistogramSnapshot(
+            uppers=self.uppers,
+            counts=tuple(a - b for a, b in zip(self.counts, earlier.counts)),
+            sum=self.sum - earlier.sum,
+            count=self.count - earlier.count,
+        )
+
+
+class SampleHistogram:
+    """All-sample recorder (seconds) with exact percentile summaries."""
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        insort(self._sorted, float(seconds))
+        self.total += float(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    def summary(self) -> "LatencySummary":
+        from repro.analysis.report import LatencySummary
+
+        return LatencySummary(
+            count=self.count,
+            total=self.total,
+            min=self._sorted[0] if self._sorted else 0.0,
+            max=self._sorted[-1] if self._sorted else 0.0,
+            sorted_samples=tuple(self._sorted),
+        )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time copy of a registry, with delta semantics."""
+
+    counters: Mapping[str, float]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Traffic between *earlier* and this snapshot.
+
+        Counters and histogram counts subtract (missing earlier entries
+        count as zero); gauges keep their later reading — a level has no
+        meaningful difference over time.
+        """
+        counters = {
+            name: value - earlier.counters.get(name, 0.0)
+            for name, value in self.counters.items()
+        }
+        hists = {}
+        for name, h in self.histograms.items():
+            prev = earlier.histograms.get(name)
+            hists[name] = h if prev is None else h.delta(prev)
+        return MetricsSnapshot(
+            counters=counters, gauges=dict(self.gauges), histograms=hists
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms (get-or-create access)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, buckets)
+        return h
+
+    # -- recording shorthands ------------------------------------------------
+
+    def inc(self, name: str, by: float = 1.0) -> None:
+        self.counter(name).inc(by)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # -- introspection -------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        c = self._counters.get(name)
+        return c.value if c is not None else 0.0
+
+    def counter_values(self) -> dict[str, float]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauge_values(self) -> dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters=self.counter_values(),
+            gauges=self.gauge_values(),
+            histograms={
+                name: h.snapshot()
+                for name, h in sorted(self._histograms.items())
+            },
+        )
+
+    def report(self, title: str = "metrics") -> str:
+        """Plain-text table report in the repo's format."""
+        from repro.util.tables import format_table
+
+        rows: list[list] = []
+        for name, value in self.counter_values().items():
+            rows.append([name, "counter", round(value, 6), ""])
+        for name, value in self.gauge_values().items():
+            rows.append([name, "gauge", round(value, 6), ""])
+        for name, h in sorted(self._histograms.items()):
+            mean = h.sum / h.count if h.count else 0.0
+            rows.append([name, "histogram", h.count, f"mean={mean:.6g}"])
+        return format_table(["metric", "kind", "value", "detail"], rows, title=title)

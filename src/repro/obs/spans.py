@@ -1,0 +1,227 @@
+"""Structured span tracing: the host-side timeline of the library.
+
+A *span* is one named, nested interval of real wall time with free-form
+attributes — "solver.analyze", "mf.factor", "service.batch". Spans are
+recorded by a process-wide :class:`SpanRecorder` that is installed either
+by the ``REPRO_OBS`` environment variable (read once at import, like
+``REPRO_CHECK``) or programmatically with :func:`enable` /
+:func:`recording`.
+
+The design constraint is the same as the sanitizer's: **instrumented hot
+paths must be ~zero-cost when observability is off**. :func:`span` returns
+a shared no-op context manager without allocating anything when no
+recorder is installed, so the instrumentation sprinkled through the
+solver, the parallel driver, and the serving layer costs one global read
+and one function call per phase when disabled — and never changes answer
+bits either way.
+
+Exporters live in :mod:`repro.obs.export` (Chrome trace-event JSON,
+Prometheus text, human tables); per-supernode profiling in
+:mod:`repro.obs.profile` rides on the same recorder.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs.profile import FrontProfile
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "span",
+    "enable",
+    "disable",
+    "recording",
+    "obs_enabled",
+    "current_recorder",
+]
+
+_TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished interval on the host timeline."""
+
+    name: str
+    #: ``time.perf_counter`` seconds at entry / exit
+    start: float
+    end: float
+    #: nesting depth at entry (0 = top level)
+    depth: int
+    #: recorder-unique id, assigned in entry order
+    span_id: int
+    #: ``span_id`` of the enclosing span, -1 at top level
+    parent_id: int
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SpanRecorder:
+    """Collects finished spans (and the front profile) of one recording."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.profile = FrontProfile()
+        #: ``perf_counter`` value of the first span start (export origin)
+        self.t0: float | None = None
+        self._stack: list[_LiveSpan] = []
+        self._next_id = 0
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.profile = FrontProfile()
+        self.t0 = None
+        self._stack.clear()
+        self._next_id = 0
+
+    def by_name(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def total(self, name: str) -> float:
+        """Summed duration of every span with this name [s]."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def phase_totals(self) -> dict[str, tuple[int, float]]:
+        """name -> (count, total seconds), insertion-ordered by first use."""
+        out: dict[str, tuple[int, float]] = {}
+        for s in self.spans:
+            n, t = out.get(s.name, (0, 0.0))
+            out[s.name] = (n + 1, t + s.duration)
+        return out
+
+
+class _NullSpan:
+    """Shared no-op span: what :func:`span` hands out when obs is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """An open span bound to a recorder (context manager)."""
+
+    __slots__ = ("_rec", "name", "attrs", "_start", "span_id", "parent_id", "depth")
+
+    def __init__(self, rec: SpanRecorder, name: str, attrs: dict[str, Any]) -> None:
+        self._rec = rec
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        rec = self._rec
+        self.span_id = rec._next_id
+        rec._next_id += 1
+        self.parent_id = rec._stack[-1].span_id if rec._stack else -1
+        self.depth = len(rec._stack)
+        rec._stack.append(self)
+        self._start = time.perf_counter()
+        if rec.t0 is None:
+            rec.t0 = self._start
+        return self
+
+    def set(self, **attrs: Any) -> "_LiveSpan":
+        """Attach attributes to the open span (chainable)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        end = time.perf_counter()
+        rec = self._rec
+        if rec._stack and rec._stack[-1] is self:
+            rec._stack.pop()
+        rec.spans.append(
+            Span(
+                name=self.name,
+                start=self._start,
+                end=end,
+                depth=self.depth,
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                attrs=self.attrs,
+            )
+        )
+
+
+# -- process-wide switch -----------------------------------------------------
+
+_recorder: SpanRecorder | None = None
+
+
+def span(name: str, **attrs: Any):
+    """Context manager for one named span.
+
+    When no recorder is installed this returns a shared no-op object —
+    the disabled cost of an instrumented phase is one global read.
+    """
+    rec = _recorder
+    if rec is None:
+        return NULL_SPAN
+    return _LiveSpan(rec, name, attrs)
+
+
+def obs_enabled() -> bool:
+    """True when a span recorder is installed (``REPRO_OBS`` or API)."""
+    return _recorder is not None
+
+
+def current_recorder() -> SpanRecorder | None:
+    return _recorder
+
+
+def enable(recorder: SpanRecorder | None = None) -> SpanRecorder:
+    """Install (and return) the process-wide recorder."""
+    global _recorder
+    _recorder = recorder if recorder is not None else SpanRecorder()
+    return _recorder
+
+
+def disable() -> SpanRecorder | None:
+    """Remove the recorder; returns it so callers can still export."""
+    global _recorder
+    rec = _recorder
+    _recorder = None
+    return rec
+
+
+@contextmanager
+def recording(recorder: SpanRecorder | None = None) -> Iterator[SpanRecorder]:
+    """Scoped recording: install a recorder, restore the previous state.
+
+    >>> from repro.obs import spans
+    >>> with spans.recording() as rec:
+    ...     with spans.span("example"):
+    ...         pass
+    >>> [s.name for s in rec.spans]
+    ['example']
+    """
+    global _recorder
+    prev = _recorder
+    rec = enable(recorder)
+    try:
+        yield rec
+    finally:
+        _recorder = prev
+
+
+if os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY:
+    enable()

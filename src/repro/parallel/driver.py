@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.machine.model import MachineModel
+from repro.obs.spans import span
 from repro.parallel.factor_par import RankFactorData, make_factor_program
 from repro.parallel.plan import FactorPlan, PlanOptions
 from repro.parallel.solve_par import make_solve_program
@@ -162,15 +163,17 @@ def simulate_factorization(
     it across numeric re-factorizations of the same pattern.
     """
     if plan is None:
-        plan = FactorPlan(sym, n_ranks, options)
+        with span("parallel.plan", ranks=n_ranks):
+            plan = FactorPlan(sym, n_ranks, options)
     elif plan.sym is not sym or plan.n_ranks != n_ranks:
         raise ShapeError(
             "prebuilt plan does not match this symbolic factor / rank count"
         )
     program = make_factor_program(plan, method=method)
-    sim = Simulator(
-        machine, n_ranks, threads_per_rank=threads_per_rank, trace=trace
-    ).run(program)
+    with span("parallel.factor_sim", ranks=n_ranks, machine=machine.name):
+        sim = Simulator(
+            machine, n_ranks, threads_per_rank=threads_per_rank, trace=trace
+        ).run(program)
     datas = list(sim.returns)
     return ParallelFactorResult(
         plan=plan,
@@ -198,9 +201,10 @@ def simulate_solve(
         raise ShapeError(f"b must have shape ({sym.n},) or ({sym.n}, k); got {b.shape}")
     bp = permute_vector(b, sym.perm)
     program = make_solve_program(factor.plan, factor.datas, bp, factor.method)
-    sim = Simulator(
-        factor.machine, factor.plan.n_ranks, threads_per_rank=factor.threads_per_rank
-    ).run(program)
+    with span("parallel.solve_sim", ranks=factor.plan.n_ranks):
+        sim = Simulator(
+            factor.machine, factor.plan.n_ranks, threads_per_rank=factor.threads_per_rank
+        ).run(program)
     xp = np.zeros(b.shape)
     seen = np.zeros(sym.n, dtype=bool)
     for pieces, _fl in sim.returns:

@@ -26,6 +26,7 @@ from repro.dense.chol import cholesky_in_place, _trsm_right_lower_transpose
 from repro.dense.ldlt import ldlt_in_place
 from repro.dense.partial_factor import partial_cholesky, partial_ldlt, _trsm_right_unit_lower_transpose
 from repro.mf.frontal import assemble_front
+from repro.obs.profile import active_profile
 from repro.parallel.dist_front import (
     LocalFront,
     assemble_dist_entries,
@@ -219,6 +220,9 @@ def _seq_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
         flops=flops, front_order=m, mem_bytes=8.0 * (m * w + m * m - (m - w) ** 2)
     )
     data.flops += flops
+    prof = active_profile()
+    if prof is not None:
+        prof.add_sim_flops(s, flops)
 
     panel = front[:, :w].copy()
     data.seq_panels[s] = panel
@@ -248,6 +252,7 @@ def _dist_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
 
     lf = LocalFront(d, me)
     live_delta = lf.entries
+    step_flops = 0.0
     n_assembled = assemble_dist_entries(plan, s, me, lf)
     yield Compute(mem_bytes=16.0 * n_assembled)
 
@@ -272,6 +277,7 @@ def _dist_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
             f = dense_partial_factor_flops(kb, kb)
             yield Compute(flops=f, front_order=kb)
             data.flops += f
+            step_flops += f
             diag_payload = (blk, diag_d)
         # Diagonal factor broadcast down its grid column (panel owners).
         if myc == k % grid.gc:
@@ -303,6 +309,7 @@ def _dist_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
         if panel_flops:
             yield Compute(flops=panel_flops, front_order=nb)
             data.flops += panel_flops
+            step_flops += panel_flops
 
         # Panel broadcasts: row-wise (left operand), then column-wise
         # (transposed right operand) from the freshly informed diagonal-row
@@ -337,6 +344,7 @@ def _dist_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
         if upd_flops:
             yield Compute(flops=upd_flops, front_order=nb)
             data.flops += upd_flops
+            step_flops += upd_flops
 
     # Solve-ready redistribution: gather panel row-blocks to row owners.
     yield from _solve_redistribution(plan, s, me, lf, data, method)
@@ -354,6 +362,9 @@ def _dist_step(comm, plan, s, me, method, data, seq_updates, dist_updates):
         )
     else:
         live_delta -= lf.entries
+    prof = active_profile()
+    if prof is not None:
+        prof.add_sim_flops(s, step_flops)
     return live_delta
 
 

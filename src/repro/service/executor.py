@@ -39,6 +39,7 @@ from repro.service.jobs import (
     JobResult,
     SolveJob,
 )
+from repro.obs.spans import span
 from repro.service.metrics import ServiceMetrics
 from repro.sparse.ops import sym_matvec_lower
 from repro.util.errors import ReproError
@@ -83,15 +84,21 @@ class Executor:
 
     def execute(self, batch: list[SolveJob]) -> list[JobResult]:
         """Execute a coalesced batch; one result per job, same order."""
+        with span("service.batch", jobs=len(batch)) as sp:
+            return self._execute(batch, sp)
+
+    def _execute(self, batch: list[SolveJob], sp) -> list[JobResult]:
         t_start = self._clock()
         job0 = batch[0]
         b_block = np.hstack([job.b for job in batch])
+        sp.set(rhs=int(b_block.shape[1]))
 
         try:
             entry, cache_hit, timings = self._prepare(job0)
         except ReproError as exc:
             # Analysis is deterministic: retrying it cannot help.
             return self._failures(batch, FAILED, exc, 0, False)
+        sp.set(cache_hit=cache_hit)
 
         budgets = [j.timeout for j in batch if j.timeout is not None]
         budget = min(budgets) if budgets else None
@@ -151,12 +158,12 @@ class Executor:
         timings: dict[str, float] = {}
         entry = self.cache.get(job.fingerprint) if self.options.use_cache else None
         if entry is not None:
-            with WallTimer() as t:
+            with span("service.prepare", cache_hit=True), WallTimer() as t:
                 entry.solver.method = job.method
                 entry.solver.update_values(job.lower)
             timings["values_update"] = t.elapsed
             return entry, True, timings
-        with WallTimer() as t:
+        with span("service.prepare", cache_hit=False), WallTimer() as t:
             solver = SparseSolver(
                 job.lower, method=job.method, ordering=self.options.ordering
             )
@@ -196,10 +203,10 @@ class Executor:
         self, entry: AnalysisEntry, b_block: np.ndarray, timings: dict
     ) -> np.ndarray:
         solver = entry.solver
-        with WallTimer() as t:
+        with span("service.factor", engine="sequential"), WallTimer() as t:
             solver.factor()
         timings["factor"] = timings.get("factor", 0.0) + t.elapsed
-        with WallTimer() as t:
+        with span("service.solve", engine="sequential"), WallTimer() as t:
             x = np.empty_like(b_block)
             for j in range(b_block.shape[1]):
                 if self.options.refine:
@@ -218,13 +225,13 @@ class Executor:
         key = (cfg.n_ranks, cfg.nb, cfg.policy)
         plan = entry.plans.get(key)
         if plan is None:
-            with WallTimer() as t:
+            with span("service.plan", ranks=cfg.n_ranks), WallTimer() as t:
                 plan = FactorPlan(
                     entry.solver.sym, cfg.n_ranks, cfg.plan_options()
                 )
             timings["plan"] = timings.get("plan", 0.0) + t.elapsed
             entry.plans[key] = plan
-        with WallTimer() as t:
+        with span("service.factor", engine="parallel"), WallTimer() as t:
             fres = simulate_factorization(
                 entry.solver.sym,
                 cfg.n_ranks,
@@ -235,7 +242,7 @@ class Executor:
                 plan=plan,
             )
         timings["factor"] = timings.get("factor", 0.0) + t.elapsed
-        with WallTimer() as t:
+        with span("service.solve", engine="parallel"), WallTimer() as t:
             # Blocked (n, k) distributed solve: one latency-bound sweep
             # amortized over every coalesced right-hand side.
             sres = simulate_solve(fres, b_block)

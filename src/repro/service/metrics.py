@@ -1,77 +1,74 @@
-"""Service observability: counters and latency histograms + text report.
+"""Service observability: a compatibility shim over :mod:`repro.obs.metrics`.
 
 Counters track discrete events (jobs submitted/completed/failed, cache
 hits, retries, degradations, batches); histograms track per-phase wall
-time (queue wait, analyze, plan, factor, solve, end-to-end). The report is
-plain text in the repo's table format, rendered through
-:mod:`repro.analysis.report` so service output matches the rest of the
-measurement instrumentation.
+time (queue wait, analyze, plan, factor, solve, end-to-end). The numbers
+now live in a :class:`~repro.obs.metrics.MetricsRegistry`, so the serving
+layer shares one metrics vocabulary with the rest of the observability
+stack (Prometheus exposition, snapshot/delta, ``repro.cli obs``). Each
+latency is recorded twice on purpose: an all-sample
+:class:`~repro.obs.metrics.SampleHistogram` keeps the exact percentiles
+the text report prints, and the registry's fixed-bucket histogram feeds
+the exporters.
+
+The public surface (``inc`` / ``observe`` / ``counter`` / ``summaries`` /
+``report``) is unchanged from the pre-shim class.
 """
 
 from __future__ import annotations
-
-from bisect import insort
-from collections import defaultdict
 
 from repro.analysis.report import (
     LatencySummary,
     render_counter_table,
     render_latency_table,
 )
+from repro.obs.metrics import MetricsRegistry, SampleHistogram
 from repro.service.cache import CacheStats
 from repro.util.tables import format_table
 
 
-class LatencyHistogram:
-    """All-sample latency recorder (seconds) with percentile summaries."""
+class LatencyHistogram(SampleHistogram):
+    """All-sample latency recorder (seconds) with percentile summaries.
 
-    def __init__(self) -> None:
-        self._sorted: list[float] = []
-        self.total = 0.0
-
-    def observe(self, seconds: float) -> None:
-        insort(self._sorted, float(seconds))
-        self.total += float(seconds)
-
-    @property
-    def count(self) -> int:
-        return len(self._sorted)
-
-    def summary(self) -> LatencySummary:
-        return LatencySummary(
-            count=self.count,
-            total=self.total,
-            min=self._sorted[0] if self._sorted else 0.0,
-            max=self._sorted[-1] if self._sorted else 0.0,
-            sorted_samples=tuple(self._sorted),
-        )
+    Alias of :class:`repro.obs.metrics.SampleHistogram`, kept for the
+    serving layer's historical import path.
+    """
 
 
 class ServiceMetrics:
     """Counter + histogram registry of one :class:`SolverService`."""
 
-    def __init__(self) -> None:
-        self.counters: dict[str, int] = defaultdict(int)
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.histograms: dict[str, LatencyHistogram] = {}
 
+    @property
+    def counters(self) -> dict[str, int]:
+        """Counter readings (shim view over the registry)."""
+        return {
+            name: int(value)
+            for name, value in self.registry.counter_values().items()
+        }
+
     def inc(self, name: str, by: int = 1) -> None:
-        self.counters[name] += by
+        self.registry.inc(name, by)
 
     def observe(self, name: str, seconds: float) -> None:
         hist = self.histograms.get(name)
         if hist is None:
             hist = self.histograms[name] = LatencyHistogram()
         hist.observe(seconds)
+        self.registry.observe(name, seconds)
 
     def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
+        return int(self.registry.counter_value(name))
 
     def summaries(self) -> dict[str, LatencySummary]:
         return {name: h.summary() for name, h in self.histograms.items()}
 
     def report(self, cache_stats: CacheStats | None = None) -> str:
         """Full plain-text metrics report (counters, cache, latencies)."""
-        parts = [render_counter_table(dict(self.counters), title="service counters")]
+        parts = [render_counter_table(self.counters, title="service counters")]
         if cache_stats is not None:
             parts.append(
                 format_table(

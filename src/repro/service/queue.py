@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.solver import ParallelConfig, as_symmetric_lower
+from repro.obs.spans import span
 from repro.service.cache import AnalysisCache
 from repro.service.executor import Executor, ExecutorOptions
 from repro.service.fingerprint import pattern_fingerprint, values_digest
@@ -180,6 +181,10 @@ class SolverService:
 
     def drain(self) -> dict[int, JobResult]:
         """Process every pending job; returns results keyed by job id."""
+        with span("service.drain", pending=len(self.queue)):
+            return self._drain()
+
+    def _drain(self) -> dict[int, JobResult]:
         processed: dict[int, JobResult] = {}
         while len(self.queue):
             batch = self.queue.pop_batch(

@@ -3,6 +3,12 @@
 Simulated-machine time lives in :mod:`repro.simmpi`; this module is only for
 measuring real elapsed host time (e.g. how long the analysis phase of the
 actual Python code took).
+
+.. deprecated::
+    For instrumenting library phases, prefer :func:`repro.obs.spans.span` —
+    spans nest, carry attributes, and feed the trace/metrics exporters.
+    ``WallTimer`` remains for plain "how long did this block take" needs
+    where a recorded value must exist even with observability disabled.
 """
 
 from __future__ import annotations
@@ -24,15 +30,22 @@ class WallTimer:
         self.elapsed: float = 0.0
 
     def __enter__(self) -> "WallTimer":
-        self._start = time.perf_counter()
+        self.start()
         return self
 
     def __exit__(self, *exc) -> None:
-        assert self._start is not None
+        # A real error, not an assert: asserts vanish under ``python -O``
+        # and this state is reachable (stop() inside the with-block).
+        if self._start is None:
+            raise RuntimeError(
+                "timer is not running on __exit__ (stopped inside the block?)"
+            )
         self.elapsed = time.perf_counter() - self._start
         self._start = None
 
     def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer is already running")
         self._start = time.perf_counter()
 
     def stop(self) -> float:

@@ -110,6 +110,29 @@ class TestLintRules:
         src = "import os\n\n\ndef f() -> str:\n    return os.sep\n"
         assert "RP006" not in self.codes(src)
 
+    def test_rp007_direct_perf_counter(self):
+        src = (
+            "import time\n\n\n"
+            "def f() -> float:\n    return time.perf_counter()\n"
+        )
+        assert "RP007" in self.codes(src)
+
+    def test_rp007_bare_name_and_ns_variant(self):
+        src = (
+            "from time import perf_counter, perf_counter_ns\n\n\n"
+            "def f() -> float:\n    return perf_counter() + perf_counter_ns()\n"
+        )
+        assert self.codes(src).count("RP007") == 2
+
+    def test_rp007_exempts_timing_and_obs(self):
+        src = "import time\n\n\ndef f() -> float:\n    return time.perf_counter()\n"
+        assert "RP007" not in self.codes(src, module="repro.util.timing")
+        assert "RP007" not in self.codes(src, module="repro.obs.spans")
+
+    def test_rp007_skips_non_repro_code(self):
+        src = "import time\n\nt = time.perf_counter()\n"
+        assert "RP007" not in self.codes(src, module="")
+
     def test_noqa_suppression(self):
         src = "def f(x):\n    print(x)  # repro: noqa[RP004]\n"
         assert self.run(src) == []

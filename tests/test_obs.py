@@ -1,0 +1,447 @@
+"""Observability layer tests: spans, metrics, exporters, profiling, and
+the timeline renderers in ``repro.analysis.tracing``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracing import ascii_gantt, rank_activity_table
+from repro.core.solver import SparseSolver
+from repro.gen import grid2d_laplacian
+from repro.machine import get_machine
+from repro.obs import export as obs_export
+from repro.obs import spans as obs_spans
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    SampleHistogram,
+)
+from repro.obs.profile import (
+    FrontProfile,
+    gflops_comparison,
+    render_gflops_comparison,
+    render_top_fronts,
+)
+from repro.obs.spans import NULL_SPAN, SpanRecorder, recording, span
+from repro.parallel import PlanOptions, simulate_factorization
+from repro.simmpi.trace import Trace, TraceEvent
+from repro.util.errors import ReproError
+
+pytestmark = pytest.mark.obs
+
+
+# -- spans -------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_disabled_returns_shared_null_span(self):
+        assert obs_spans.current_recorder() is None
+        s1 = span("anything", key=1)
+        s2 = span("else")
+        assert s1 is NULL_SPAN and s2 is NULL_SPAN
+        with s1 as s:
+            assert s.set(more=2) is NULL_SPAN
+
+    def test_recording_collects_nested_spans(self):
+        with recording() as rec:
+            with span("outer", kind="test"):
+                with span("inner") as sp:
+                    sp.set(found=3)
+            with span("outer"):
+                pass
+        assert [s.name for s in rec.spans] == ["inner", "outer", "outer"]
+        inner = rec.by_name("inner")[0]
+        outer_first = rec.by_name("outer")[0]
+        assert inner.depth == 1
+        assert inner.parent_id == outer_first.span_id
+        assert outer_first.depth == 0 and outer_first.parent_id == -1
+        assert inner.attrs == {"found": 3}
+        assert outer_first.attrs == {"kind": "test"}
+        assert inner.duration >= 0.0
+        counts = rec.phase_totals()
+        assert counts["outer"][0] == 2 and counts["inner"][0] == 1
+        assert rec.total("outer") >= 0.0
+
+    def test_recording_restores_previous_state(self):
+        assert obs_spans.current_recorder() is None
+        outer_rec = SpanRecorder()
+        with recording(outer_rec):
+            assert obs_spans.current_recorder() is outer_rec
+            with recording() as inner_rec:
+                assert obs_spans.current_recorder() is inner_rec
+            assert obs_spans.current_recorder() is outer_rec
+        assert obs_spans.current_recorder() is None
+        assert not obs_spans.obs_enabled()
+
+    def test_span_records_on_exception(self):
+        with recording() as rec:
+            with pytest.raises(ValueError):
+                with span("failing"):
+                    raise ValueError("boom")
+        assert [s.name for s in rec.spans] == ["failing"]
+
+    def test_solver_phases_recorded(self, small_spd_lower):
+        lower, _ = small_spd_lower
+        with recording() as rec:
+            solver = SparseSolver(lower)
+            solver.analyze()
+            solver.factor()
+            solver.solve(np.ones(lower.shape[0]))
+        names = {s.name for s in rec.spans}
+        assert {
+            "solver.analyze",
+            "solver.ordering",
+            "solver.symbolic",
+            "solver.factor",
+            "mf.factor",
+            "solver.solve",
+        } <= names
+
+
+# -- bit-identical results with obs on/off -----------------------------------
+
+
+class TestNoBehaviorChange:
+    def test_factor_bits_identical_with_obs_on(self, small_spd_lower):
+        lower, _ = small_spd_lower
+        s_off = SparseSolver(lower)
+        s_off.analyze()
+        s_off.factor()
+        with recording():
+            s_on = SparseSolver(lower)
+            s_on.analyze()
+            s_on.factor()
+        for b_off, b_on in zip(s_off.numeric.blocks, s_on.numeric.blocks):
+            assert np.array_equal(b_off, b_on)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs")
+        reg.inc("jobs", 2)
+        reg.gauge("depth").set(5)
+        reg.gauge("depth").dec(2)
+        assert reg.counter_value("jobs") == 3
+        assert reg.counter_value("missing") == 0
+        assert reg.gauge_values() == {"depth": 3.0}
+        with pytest.raises(ValueError):
+            reg.counter("jobs").inc(-1)
+
+    def test_histogram_buckets(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.counts == (1, 2, 1, 1)
+        assert snap.cumulative() == (1, 3, 4, 5)
+        assert snap.count == 5
+        assert snap.sum == pytest.approx(56.05)
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 0.5))
+
+    def test_snapshot_delta(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs", 2)
+        reg.observe("wait", 0.5)
+        before = reg.snapshot()
+        reg.inc("jobs", 3)
+        reg.gauge("depth").set(7)
+        reg.observe("wait", 0.7)
+        delta = reg.snapshot().delta(before)
+        assert delta.counters["jobs"] == 3
+        assert delta.gauges["depth"] == 7.0
+        assert delta.histograms["wait"].count == 1
+
+    def test_sample_histogram_summary(self):
+        sh = SampleHistogram()
+        for v in (3.0, 1.0, 2.0):
+            sh.observe(v)
+        summ = sh.summary()
+        assert summ.count == 3
+        assert summ.min == 1.0 and summ.max == 3.0
+        assert summ.sorted_samples == (1.0, 2.0, 3.0)
+
+    def test_report_renders(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs")
+        reg.observe("wait", 0.2)
+        text = reg.report()
+        assert "jobs" in text and "wait" in text and "histogram" in text
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.inc("jobs_total", 4)
+        reg.gauge("queue_depth").set(2)
+        reg.observe("wait_seconds", 0.002)
+        text = obs_export.prometheus_text(reg)
+        assert "# TYPE repro_jobs_total counter" in text
+        assert "repro_jobs_total 4" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert '# TYPE repro_wait_seconds histogram' in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_wait_seconds_count 1" in text
+        # one bucket line per upper bound plus +Inf
+        n_buckets = text.count("repro_wait_seconds_bucket")
+        assert n_buckets == len(DEFAULT_LATENCY_BUCKETS) + 1
+
+
+# -- service metrics shim ----------------------------------------------------
+
+
+class TestServiceMetricsShim:
+    def test_shim_backed_by_registry(self):
+        from repro.service.metrics import ServiceMetrics
+
+        m = ServiceMetrics()
+        m.inc("jobs_submitted", 2)
+        m.observe("queue_wait", 0.01)
+        assert m.counter("jobs_submitted") == 2
+        assert m.counters == {"jobs_submitted": 2}
+        assert m.registry.counter_value("jobs_submitted") == 2
+        assert m.registry.histograms()["queue_wait"].count == 1
+        assert m.summaries()["queue_wait"].count == 1
+        assert "jobs_submitted" in m.report()
+        # the registry view is Prometheus-exportable
+        assert "queue_wait" in obs_export.prometheus_text(m.registry)
+
+
+# -- profiling ---------------------------------------------------------------
+
+
+class TestProfile:
+    def test_numeric_factor_profiles_every_front(self, small_spd_lower):
+        lower, _ = small_spd_lower
+        with recording() as rec:
+            solver = SparseSolver(lower)
+            solver.analyze()
+            solver.factor()
+        prof = rec.profile
+        assert len(prof.host) == solver.sym.n_supernodes
+        assert prof.total_flops > 0
+        assert prof.total_bytes > 0
+        assert all(r.seconds >= 0 for r in prof.host)
+        top = prof.top_fronts(3)
+        assert len(top) == min(3, len(prof.host))
+        assert top == sorted(
+            prof.host, key=lambda r: (r.seconds, r.flops), reverse=True
+        )[:3]
+
+    def test_sim_flops_recorded_per_supernode(self, small_spd_lower):
+        lower, _ = small_spd_lower
+        solver = SparseSolver(lower)
+        solver.analyze()
+        with recording() as rec:
+            fres = simulate_factorization(
+                solver.sym, 2, get_machine("generic-cluster")
+            )
+        assert rec.profile.sim_flops
+        assert sum(rec.profile.sim_flops.values()) == pytest.approx(
+            fres.total_flops
+        )
+
+    def test_gflops_comparison_tables(self):
+        prof = FrontProfile()
+        prof.observe_front(0, 32, 8, 10_000, 1e-4)
+        prof.observe_front(1, 16, 4, 2_000, 5e-5)
+        machine = get_machine("generic-cluster")
+        rows = gflops_comparison(prof, machine, k=2)
+        assert rows[-1]["supernode"] == -1  # overall row
+        assert all(r["modeled_gflops"] > 0 for r in rows)
+        text = render_top_fronts(prof, 2)
+        assert "hottest fronts" in text
+        text2 = render_gflops_comparison(prof, machine, k=2)
+        assert "measured vs modeled" in text2
+
+
+# -- chrome trace exporter ---------------------------------------------------
+
+
+class TestChromeTrace:
+    def _observed_sim(self, small_spd_lower, n_ranks=3):
+        lower, _ = small_spd_lower
+        solver = SparseSolver(lower)
+        with recording() as rec:
+            solver.analyze()
+            solver.factor()
+            fres = simulate_factorization(
+                solver.sym,
+                n_ranks,
+                get_machine("generic-cluster"),
+                PlanOptions(nb=8),
+                trace=True,
+            )
+        return rec, fres
+
+    def test_merged_trace_valid_and_complete(self, small_spd_lower, tmp_path):
+        n_ranks = 3
+        rec, fres = self._observed_sim(small_spd_lower, n_ranks)
+        path = str(tmp_path / "trace.json")
+        obj = obs_export.write_chrome_trace(
+            path, recorder=rec, sim_trace=fres.sim.trace
+        )
+        # round-trip through the file: valid JSON and structurally clean
+        loaded = obs_export.validate_chrome_trace_file(path)
+        assert loaded == json.loads(json.dumps(obj))
+        events = loaded["traceEvents"]
+        assert obs_export.validate_trace_events(events) == []
+        # monotone timestamps
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        # all simulated ranks present as threads of the sim process
+        sim_tids = {
+            e["tid"]
+            for e in events
+            if e["pid"] == obs_export.SIM_PID and e["ph"] == "X"
+        }
+        assert sim_tids == set(range(n_ranks))
+        # host spans present under the host process
+        host_names = {
+            e["name"]
+            for e in events
+            if e["pid"] == obs_export.HOST_PID and e["ph"] == "X"
+        }
+        assert "solver.analyze" in host_names
+        assert "parallel.factor_sim" in host_names
+
+    def test_comm_instant_events(self, small_spd_lower):
+        rec, fres = self._observed_sim(small_spd_lower)
+        events = obs_export.chrome_trace_events(
+            recorder=rec, sim_trace=fres.sim.trace, include_comm=True
+        )
+        assert any(e["ph"] == "i" for e in events)
+        assert obs_export.validate_trace_events(events) == []
+
+    def test_validation_rejects_garbage(self, tmp_path):
+        assert obs_export.validate_trace_events("nope")
+        assert obs_export.validate_trace_events([{"name": "x"}])
+        bad = [
+            {"name": "a", "ph": "X", "ts": 5.0, "dur": 1.0, "pid": 0, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 1.0, "dur": 1.0, "pid": 0, "tid": 0},
+        ]
+        problems = obs_export.validate_trace_events(bad)
+        assert any("monotone" in p for p in problems)
+        with pytest.raises(ReproError):
+            obs_export.validate_chrome_trace({"no": "events"})
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(ReproError):
+            obs_export.validate_chrome_trace_file(str(p))
+
+    def test_report_combines_sections(self, small_spd_lower):
+        rec, _ = self._observed_sim(small_spd_lower)
+        reg = MetricsRegistry()
+        reg.inc("runs")
+        text = obs_export.report(
+            rec, reg, get_machine("generic-cluster"), top_fronts=3
+        )
+        assert "host phases" in text
+        assert "runs" in text
+        assert "hottest fronts" in text
+        assert "measured vs modeled" in text
+        assert obs_export.report() == "(nothing recorded)"
+
+
+# -- timeline renderers (repro.analysis.tracing) -----------------------------
+
+
+def _toy_trace() -> Trace:
+    t = Trace()
+    t.add(0, "compute", 0.0, 0.6, detail=100.0)
+    t.add(0, "send", 0.6, 0.7)
+    t.add(1, "wait", 0.0, 0.5)
+    t.add(1, "compute", 0.5, 1.0)
+    return t
+
+
+class TestTimelineRendering:
+    def test_rank_activity_table(self):
+        table = rank_activity_table(_toy_trace(), 2)
+        lines = table.splitlines()
+        assert "rank" in lines[0]
+        r0 = lines[2].split("|")
+        assert float(r0[1]) == pytest.approx(600.0)  # compute ms
+        assert float(r0[2]) == pytest.approx(100.0)  # send ms
+        assert float(r0[4]) == pytest.approx(100.0)  # busy %
+        r1 = lines[3].split("|")
+        assert float(r1[3]) == pytest.approx(500.0)  # wait ms
+        assert float(r1[4]) == pytest.approx(50.0)
+
+    def test_ascii_gantt_renders_kinds(self):
+        art = ascii_gantt(_toy_trace(), 2, width=10)
+        rows = art.splitlines()
+        assert rows[1].startswith("r0")
+        assert "#" in rows[1] and ">" in rows[1]
+        assert "." in rows[2] and "#" in rows[2]
+        assert ascii_gantt(Trace(), 2) == "(empty trace)"
+
+    def test_ascii_gantt_zero_duration_event_at_trace_end(self):
+        # Regression: an instantaneous event exactly at the trace end used
+        # to land in bucket `width` and silently vanish. Trace.add drops
+        # zero-duration events, so append directly.
+        t = Trace()
+        t.add(0, "compute", 0.0, 1.0)
+        t.events.append(TraceEvent(rank=1, kind="send", start=1.0, end=1.0))
+        art = ascii_gantt(t, 2, width=8)
+        r1 = art.splitlines()[2]
+        assert r1.startswith("r1")
+        assert ">" in r1  # the event is rendered, clamped into the last column
+        assert r1.rstrip().endswith(">")
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+class TestObsCli:
+    def test_cli_obs_end_to_end(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace_path = str(tmp_path / "trace.json")
+        prom_path = str(tmp_path / "metrics.prom")
+        rc = main(
+            [
+                "obs",
+                "--mesh",
+                "plate:6",
+                "--ranks",
+                "2",
+                "--trace-out",
+                trace_path,
+                "--metrics",
+                "--top-fronts",
+                "3",
+                "--prom-out",
+                prom_path,
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "host phases" in out
+        assert "metrics" in out
+        assert "hottest fronts" in out
+        assert "measured vs modeled" in out
+        assert "host residual" in out
+        obj = obs_export.validate_chrome_trace_file(trace_path)
+        assert any(
+            e["pid"] == obs_export.SIM_PID for e in obj["traceEvents"]
+        )
+        assert "# TYPE" in (tmp_path / "metrics.prom").read_text()
+
+    def test_cli_obs_leaves_recorder_uninstalled(self):
+        from repro.cli import main
+
+        main(["obs", "--mesh", "plate:4", "--ranks", "2"])
+        assert obs_spans.current_recorder() is None
+
+
+# -- grid fixture sanity (the matrix obs examples run on) --------------------
+
+
+def test_plate_mesh_is_spd_seed():
+    lower = grid2d_laplacian(6)
+    assert lower.shape[0] == 36

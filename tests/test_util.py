@@ -171,6 +171,27 @@ class TestTiming:
         with pytest.raises(RuntimeError):
             WallTimer().stop()
 
+    def test_reenter_while_running_raises(self):
+        t = WallTimer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_exit_after_stop_inside_block_raises(self):
+        # Regression: this used to be a bare assert, which disappears
+        # under `python -O` and let __exit__ crash on arithmetic instead.
+        with pytest.raises(RuntimeError, match="not running"):
+            with WallTimer() as t:
+                t.stop()
+
+    def test_timer_is_reusable_after_exit(self):
+        t = WallTimer()
+        with t:
+            pass
+        with t:
+            pass
+        assert t.elapsed >= 0.0
+
 
 class TestTables:
     def test_basic_table(self):
