@@ -14,7 +14,9 @@ from repro.dense.ldlt import ldlt_in_place, ldlt
 from repro.dense.trsm import (
     solve_lower_inplace,
     solve_lower_transpose_inplace,
+    solve_lower_transpose_outer_inplace,
     solve_unit_lower_inplace,
+    solve_unit_lower_transpose_outer_inplace,
 )
 from repro.dense.syrk import syrk_lower_update
 from repro.dense.partial_factor import partial_cholesky, partial_ldlt
@@ -26,7 +28,9 @@ __all__ = [
     "ldlt",
     "solve_lower_inplace",
     "solve_lower_transpose_inplace",
+    "solve_lower_transpose_outer_inplace",
     "solve_unit_lower_inplace",
+    "solve_unit_lower_transpose_outer_inplace",
     "syrk_lower_update",
     "partial_cholesky",
     "partial_ldlt",

@@ -60,3 +60,37 @@ def solve_unit_lower_transpose_inplace(l: np.ndarray, b: np.ndarray) -> None:
     for j in range(n - 1, -1, -1):
         if j + 1 < n:
             b[j] -= l[j + 1:, j] @ b[j + 1:]
+
+
+def solve_lower_transpose_outer_inplace(l: np.ndarray, b: np.ndarray) -> None:
+    """``b <- L^{-T} b`` in the column-oriented (outer-product) form.
+
+    Same triangular solve as :func:`solve_lower_transpose_inplace`, but the
+    inner update is a saxpy ``b[:j] -= l[j, :j] * b[j]`` instead of a dot
+    product. Every operation is elementwise, so with a multi-column *b*
+    each column gets the exact floating-point operation sequence it would
+    get solved alone — the blocked multi-RHS solve phase relies on this to
+    stay bitwise identical per column regardless of how many right-hand
+    sides ride in the panel (BLAS dot/gemv reductions reorder sums with
+    the operand shape and cannot give that guarantee).
+    """
+    n = _check(l, b)
+    for j in range(n - 1, -1, -1):
+        b[j] = b[j] / l[j, j]
+        if j:
+            if b.ndim > 1:
+                b[:j] -= np.multiply.outer(l[j, :j], b[j])
+            else:
+                b[:j] -= l[j, :j] * b[j]
+
+
+def solve_unit_lower_transpose_outer_inplace(l: np.ndarray, b: np.ndarray) -> None:
+    """``b <- L^{-T} b``, unit diagonal, column-oriented form (see
+    :func:`solve_lower_transpose_outer_inplace` for why it exists)."""
+    n = _check(l, b)
+    for j in range(n - 1, -1, -1):
+        if j:
+            if b.ndim > 1:
+                b[:j] -= np.multiply.outer(l[j, :j], b[j])
+            else:
+                b[:j] -= l[j, :j] * b[j]

@@ -15,7 +15,13 @@ from repro.mf.frontal import assemble_front, front_local_indices
 from repro.mf.extend_add import extend_add
 from repro.mf.numeric import NumericFactor, multifrontal_factor
 from repro.mf.solve_phase import solve as factor_solve
-from repro.mf.refine import iterative_refinement, RefinementResult
+from repro.mf.solve_phase import solve_many as factor_solve_many
+from repro.mf.refine import (
+    iterative_refinement,
+    iterative_refinement_many,
+    PanelRefinementResult,
+    RefinementResult,
+)
 from repro.mf.accounting import FactorStats
 from repro.mf.schur import schur_complement
 from repro.mf.condest import condest
@@ -27,7 +33,10 @@ __all__ = [
     "NumericFactor",
     "multifrontal_factor",
     "factor_solve",
+    "factor_solve_many",
     "iterative_refinement",
+    "iterative_refinement_many",
+    "PanelRefinementResult",
     "RefinementResult",
     "FactorStats",
     "schur_complement",

@@ -88,12 +88,14 @@ def schur_complement(
     """
     from repro.core.solver import SparseSolver
     from repro.mf.solve_phase import solve_many
+    from repro.obs.spans import span
 
     a_ii, a_bi, a_bb = split_symmetric_lower(lower, np.asarray(schur_set))
     solver = SparseSolver(a_ii, method=method, ordering=ordering)
     solver.factor()
-    # X = A_II^{-1} A_IB  (columns are interface couplings)
-    x = solve_many(solver.numeric, a_bi.T.copy())
+    # X = A_II^{-1} A_IB: one blocked solve over all interface couplings.
+    with span("mf.schur", n=a_ii.shape[0], rhs=int(a_bi.shape[0])):
+        x = solve_many(solver.numeric, a_bi.T.copy())
     s = a_bb - a_bi @ x
     # Enforce exact symmetry lost to rounding.
     return (s + s.T) / 2

@@ -1,9 +1,31 @@
-"""Supernodal triangular solves.
+"""Supernodal triangular solves, blocked over multiple right-hand sides.
 
-Given a :class:`~repro.mf.numeric.NumericFactor`, solve ``A x = b`` in the
-*original* ordering: permute the RHS, run the forward sweep over supernodes
-in ascending order, the diagonal scaling (LDLᵀ), the backward sweep in
-descending order, and un-permute.
+Given a :class:`~repro.mf.numeric.NumericFactor`, solve ``A X = B`` in the
+*original* ordering: permute the RHS panel, run the forward sweep over
+supernodes in ascending order, the diagonal scaling (LDLᵀ), the backward
+sweep in descending order, and un-permute. One permute → sweep → unpermute
+pass serves any number of right-hand sides: the supernode traversal, the
+per-front Python overhead, and the triangular-substitution inner loops are
+paid once per *panel*, not once per column.
+
+Bitwise reproducibility contract
+--------------------------------
+``solve_many(factor, B)[:, j]`` is **bitwise identical** to
+``solve(factor, B[:, j])`` for every column, no matter how many columns
+share the panel. Two implementation rules buy this:
+
+* triangular substitution uses only elementwise/outer-product updates
+  (:mod:`repro.dense.trsm`'s forward kernels and the ``*_outer`` transpose
+  kernels), whose per-column operation sequence does not depend on the
+  panel width — unlike BLAS dot/gemv/gemm reductions, which reorder sums
+  with the operand shape;
+* the off-diagonal panel updates run one BLAS ``dgemv`` per column on a
+  contiguous (Fortran-ordered) column buffer, so each column issues the
+  exact call the single-RHS path issues.
+
+The serving layer's coalesced batches and the blocked iterative refinement
+in :mod:`repro.mf.refine` both lean on this guarantee to stay bit-checkable
+against the per-column path.
 """
 
 from __future__ import annotations
@@ -12,11 +34,12 @@ import numpy as np
 
 from repro.dense.trsm import (
     solve_lower_inplace,
-    solve_lower_transpose_inplace,
+    solve_lower_transpose_outer_inplace,
     solve_unit_lower_inplace,
-    solve_unit_lower_transpose_inplace,
+    solve_unit_lower_transpose_outer_inplace,
 )
 from repro.mf.numeric import NumericFactor
+from repro.obs.spans import span
 from repro.sparse.permute import permute_vector, unpermute_vector
 from repro.util.errors import ShapeError
 from repro.util.validation import as_float_array
@@ -29,19 +52,50 @@ def solve(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
     if b.shape != (n,):
         raise ShapeError(f"b must have shape ({n},); got {b.shape}")
     sym = factor.sym
-    y = permute_vector(b, sym.perm)
+    with span("mf.solve", n=n, rhs=1, method=factor.method):
+        y = permute_vector(b, sym.perm)
+        forward_sweep(factor, y)
+        if factor.method == "ldlt":
+            y /= factor.diag
+        backward_sweep(factor, y)
+        return unpermute_vector(y, sym.perm)
 
-    forward_sweep(factor, y)
-    if factor.method == "ldlt":
-        y /= factor.diag
-    backward_sweep(factor, y)
-    return unpermute_vector(y, sym.perm)
+
+def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
+    """Blocked solve for multiple right-hand sides (columns of *b*).
+
+    Runs **one** permute → forward → scale → backward → unpermute pass over
+    the whole ``(n, k)`` panel; each column's bits match a stand-alone
+    :func:`solve` of that column (see the module docstring).
+    """
+    b = as_float_array(b, "b")
+    if b.ndim == 1:
+        return solve(factor, b)
+    n = factor.n
+    if b.ndim != 2 or b.shape[0] != n:
+        raise ShapeError(f"b must have shape ({n},) or ({n}, k); got {b.shape}")
+    if b.shape[1] == 1:
+        # The single-vector path skips the panel bookkeeping; the bitwise
+        # contract makes the dispatch invisible to callers.
+        return solve(factor, b[:, 0])[:, None]
+    sym = factor.sym
+    with span("mf.solve", n=n, rhs=int(b.shape[1]), method=factor.method):
+        y = permute_vector(b, sym.perm)
+        forward_sweep(factor, y)
+        if factor.method == "ldlt":
+            y /= factor.diag[:, None]
+        backward_sweep(factor, y)
+        return unpermute_vector(y, sym.perm)
 
 
 def forward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
-    """In-place forward substitution ``y <- L^{-1} y`` in permuted order."""
+    """In-place forward substitution ``y <- L^{-1} y`` in permuted order.
+
+    *y* is a single vector ``(n,)`` or a panel ``(n, k)``.
+    """
     sym = factor.sym
     unit = factor.method == "ldlt"
+    panel = y.ndim == 2
     for s in range(sym.n_supernodes):
         rows = sym.sn_rows[s]
         w = sym.supernode_width(s)
@@ -53,33 +107,44 @@ def forward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
             solve_lower_inplace(block[:w, :], piv)
         y[rows[:w]] = piv
         if rows.size > w:
-            y[rows[w:]] -= block[w:, :] @ piv
+            l21 = block[w:, :]
+            if panel:
+                # One dgemv per column on a contiguous buffer: identical
+                # bits to the single-RHS call, k columns per traversal.
+                pivf = np.asfortranarray(piv)
+                upd = np.empty((rows.size - w, piv.shape[1]), order="F")
+                for c in range(piv.shape[1]):
+                    np.dot(l21, pivf[:, c], out=upd[:, c])
+                y[rows[w:]] -= upd
+            else:
+                y[rows[w:]] -= l21 @ piv
 
 
 def backward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
-    """In-place backward substitution ``y <- L^{-T} y`` in permuted order."""
+    """In-place backward substitution ``y <- L^{-T} y`` in permuted order.
+
+    *y* is a single vector ``(n,)`` or a panel ``(n, k)``.
+    """
     sym = factor.sym
     unit = factor.method == "ldlt"
+    panel = y.ndim == 2
     for s in range(sym.n_supernodes - 1, -1, -1):
         rows = sym.sn_rows[s]
         w = sym.supernode_width(s)
         block = factor.blocks[s]
-        piv = y[rows[:w]].copy()
+        piv = y[rows[:w]].copy() if not panel else y[rows[:w]]
         if rows.size > w:
-            piv -= block[w:, :].T @ y[rows[w:]]
+            l21t = block[w:, :].T
+            if panel:
+                xb = np.asfortranarray(y[rows[w:]])
+                upd = np.empty((w, piv.shape[1]), order="F")
+                for c in range(piv.shape[1]):
+                    np.dot(l21t, xb[:, c], out=upd[:, c])
+                piv -= upd
+            else:
+                piv -= l21t @ y[rows[w:]]
         if unit:
-            solve_unit_lower_transpose_inplace(block[:w, :], piv)
+            solve_unit_lower_transpose_outer_inplace(block[:w, :], piv)
         else:
-            solve_lower_transpose_inplace(block[:w, :], piv)
+            solve_lower_transpose_outer_inplace(block[:w, :], piv)
         y[rows[:w]] = piv
-
-
-def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
-    """Solve for multiple right-hand sides (columns of *b*)."""
-    b = as_float_array(b, "b")
-    if b.ndim == 1:
-        return solve(factor, b)
-    out = np.empty_like(b)
-    for k in range(b.shape[1]):
-        out[:, k] = solve(factor, b[:, k])
-    return out

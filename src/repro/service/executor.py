@@ -27,8 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.solver import ParallelConfig, SparseSolver
-from repro.mf.refine import iterative_refinement
-from repro.mf.solve_phase import solve as mf_solve
+from repro.mf.refine import iterative_refinement_many
+from repro.mf.solve_phase import solve_many as mf_solve_many
 from repro.parallel.driver import simulate_factorization, simulate_solve
 from repro.parallel.plan import FactorPlan
 from repro.service.cache import AnalysisCache, AnalysisEntry
@@ -41,7 +41,7 @@ from repro.service.jobs import (
 )
 from repro.obs.spans import span
 from repro.service.metrics import ServiceMetrics
-from repro.sparse.ops import sym_matvec_lower
+from repro.sparse.ops import sym_matvec_lower_many
 from repro.util.errors import ReproError
 from repro.util.timing import WallTimer
 
@@ -121,13 +121,20 @@ class Executor:
                     continue
                 if attempts >= self.options.max_retries:
                     return self._failures(batch, FAILED, exc, attempts, degraded)
+                # Check the wall budget *before* burning a backoff sleep:
+                # an over-budget batch fails fast, and a near-budget batch
+                # only sleeps the remainder.
+                elapsed = self._clock() - t_start
+                if budget is not None and elapsed >= budget:
+                    return self._timeout_failures(
+                        batch, exc, attempts, degraded, elapsed
+                    )
                 attempts += 1
                 self.metrics.inc("retries")
-                self._sleep(self.options.retry_backoff * 2 ** (attempts - 1))
-                if budget is not None and self._clock() - t_start > budget:
-                    return self._failures(
-                        batch, TIMED_OUT, exc, attempts, degraded
-                    )
+                delay = self.options.retry_backoff * 2 ** (attempts - 1)
+                if budget is not None:
+                    delay = min(delay, budget - elapsed)
+                self._sleep(delay)
 
         timings["job_total"] = self._clock() - t_start
         results = []
@@ -192,11 +199,11 @@ class Executor:
         else:
             x = self._run_sequential(entry, b_block, timings)
         lower = entry.solver.lower
-        residuals = np.empty(b_block.shape[1])
-        for j in range(b_block.shape[1]):
-            r = b_block[:, j] - sym_matvec_lower(lower, x[:, j])
-            denom = max(float(np.max(np.abs(b_block[:, j]))), 1e-300)
-            residuals[j] = float(np.max(np.abs(r))) / denom
+        # One blocked residual matvec for the whole panel (bitwise identical
+        # per column to the per-column check).
+        r = b_block - sym_matvec_lower_many(lower, x)
+        denom = np.maximum(np.max(np.abs(b_block), axis=0), 1e-300)
+        residuals = np.max(np.abs(r), axis=0) / denom
         return x, residuals
 
     def _run_sequential(
@@ -206,15 +213,21 @@ class Executor:
         with span("service.factor", engine="sequential"), WallTimer() as t:
             solver.factor()
         timings["factor"] = timings.get("factor", 0.0) + t.elapsed
-        with span("service.solve", engine="sequential"), WallTimer() as t:
-            x = np.empty_like(b_block)
-            for j in range(b_block.shape[1]):
-                if self.options.refine:
-                    x[:, j] = iterative_refinement(
-                        solver.numeric, solver.lower, b_block[:, j]
-                    ).x
-                else:
-                    x[:, j] = mf_solve(solver.numeric, b_block[:, j])
+        # Genuine blocked multi-RHS solve: one permute → sweep → unpermute
+        # pass for the whole coalesced panel (and one blocked refinement
+        # loop when enabled), not a per-column re-traversal.
+        with span(
+            "service.solve",
+            engine="sequential",
+            rhs=int(b_block.shape[1]),
+            refine=self.options.refine,
+        ), WallTimer() as t:
+            if self.options.refine:
+                x = iterative_refinement_many(
+                    solver.numeric, solver.lower, b_block
+                ).x
+            else:
+                x = mf_solve_many(solver.numeric, b_block)
         timings["solve"] = timings.get("solve", 0.0) + t.elapsed
         return x
 
@@ -242,7 +255,9 @@ class Executor:
                 plan=plan,
             )
         timings["factor"] = timings.get("factor", 0.0) + t.elapsed
-        with span("service.solve", engine="parallel"), WallTimer() as t:
+        with span(
+            "service.solve", engine="parallel", rhs=int(b_block.shape[1])
+        ), WallTimer() as t:
             # Blocked (n, k) distributed solve: one latency-bound sweep
             # amortized over every coalesced right-hand side.
             sres = simulate_solve(fres, b_block)
@@ -264,6 +279,35 @@ class Executor:
             JobResult(
                 job_id=job.job_id,
                 status=status,
+                retries=attempts,
+                degraded=degraded,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            for job in batch
+        ]
+
+    def _timeout_failures(
+        self,
+        batch: list[SolveJob],
+        exc: Exception,
+        attempts: int,
+        degraded: bool,
+        elapsed: float,
+    ) -> list[JobResult]:
+        """Per-job status when the batch runs out of wall budget.
+
+        Only jobs whose *own* timeout elapsed are ``TIMED_OUT``; coalesced
+        neighbors with a longer (or no) budget report ``FAILED`` with the
+        underlying error instead of inheriting the strictest timeout.
+        """
+        return [
+            JobResult(
+                job_id=job.job_id,
+                status=(
+                    TIMED_OUT
+                    if job.timeout is not None and elapsed >= job.timeout
+                    else FAILED
+                ),
                 retries=attempts,
                 degraded=degraded,
                 error=f"{type(exc).__name__}: {exc}",

@@ -50,7 +50,14 @@ class JobQueue:
         self, coalesce: bool = True, max_rhs: int | None = None
     ) -> list[SolveJob]:
         """Pop the most urgent job plus (optionally) every pending job
-        sharing its pattern+values+method, bounded by *max_rhs* columns."""
+        sharing its pattern+values+method, bounded by *max_rhs* columns.
+
+        Coalescing stops at the first same-key job that does not fit the
+        *max_rhs* budget: skipping it while still admitting later-submitted
+        same-key jobs would let them jump the queue at equal priority
+        (FIFO inversion). The non-fitting job keeps its place and heads the
+        next batch instead.
+        """
         if not self._jobs:
             return []
         self._jobs.sort(key=lambda item: item[:2])
@@ -59,17 +66,16 @@ class JobQueue:
         batch = [head]
         total = head.n_rhs
         rest = []
+        key_closed = False
         for item in self._jobs[1:]:
             job = item[2]
-            if (
-                coalesce
-                and job.batch_key() == key
-                and (max_rhs is None or total + job.n_rhs <= max_rhs)
-            ):
-                batch.append(job)
-                total += job.n_rhs
-            else:
-                rest.append(item)
+            if coalesce and not key_closed and job.batch_key() == key:
+                if max_rhs is None or total + job.n_rhs <= max_rhs:
+                    batch.append(job)
+                    total += job.n_rhs
+                    continue
+                key_closed = True
+            rest.append(item)
         self._jobs = rest
         return batch
 

@@ -36,6 +36,7 @@ from repro.sparse.ops import (
     full_symmetric_from_lower,
     is_structurally_symmetric,
     sym_matvec_lower,
+    sym_matvec_lower_many,
 )
 from repro.sparse.permute import permute_symmetric_lower, apply_permutation_csc
 from repro.sparse.io_mm import read_matrix_market, write_matrix_market
@@ -59,6 +60,7 @@ __all__ = [
     "full_symmetric_from_lower",
     "is_structurally_symmetric",
     "sym_matvec_lower",
+    "sym_matvec_lower_many",
     "permute_symmetric_lower",
     "apply_permutation_csc",
     "read_matrix_market",

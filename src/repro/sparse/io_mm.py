@@ -46,18 +46,59 @@ def read_matrix_market(
             raise ShapeError(f"unsupported MatrixMarket field {field!r}")
         if symmetry not in ("general", "symmetric"):
             raise ShapeError(f"unsupported MatrixMarket symmetry {symmetry!r}")
-        line = fh.readline()
-        while line.startswith("%"):
-            line = fh.readline()
-        n_rows, n_cols, nnz = (int(tok) for tok in line.split())
+
+        lineno = 1  # the header line just consumed
+
+        def next_entry_line(what: str) -> tuple[list[str], int]:
+            """Next non-blank, non-comment line's tokens (+ line number).
+
+            Raises :class:`ShapeError` naming the line where the file ends
+            instead of silently under-filling the entry arrays.
+            """
+            nonlocal lineno
+            while True:
+                line = fh.readline()
+                lineno += 1
+                if not line:
+                    raise ShapeError(
+                        f"truncated MatrixMarket file: expected {what} "
+                        f"at line {lineno}, got end of file"
+                    )
+                parts = line.split()
+                if parts and not parts[0].startswith("%"):
+                    return parts, lineno
+
+        parts, at = next_entry_line("size line")
+        if len(parts) != 3:
+            raise ShapeError(
+                f"line {at}: size line must have 3 tokens "
+                f"(rows cols nnz); got {len(parts)}: {parts}"
+            )
+        try:
+            n_rows, n_cols, nnz = (int(tok) for tok in parts)
+        except ValueError:
+            raise ShapeError(
+                f"line {at}: size line tokens must be integers; got {parts}"
+            ) from None
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
         vals = np.empty(nnz)
+        want = 2 if field == "pattern" else 3
         for k in range(nnz):
-            parts = fh.readline().split()
-            rows[k] = int(parts[0]) - 1
-            cols[k] = int(parts[1]) - 1
-            vals[k] = 1.0 if field == "pattern" else float(parts[2])
+            parts, at = next_entry_line(f"entry {k + 1} of {nnz}")
+            if len(parts) < want:
+                raise ShapeError(
+                    f"line {at}: coordinate entry needs {want} tokens "
+                    f"for field {field!r}; got {len(parts)}: {parts}"
+                )
+            try:
+                rows[k] = int(parts[0]) - 1
+                cols[k] = int(parts[1]) - 1
+                vals[k] = 1.0 if field == "pattern" else float(parts[2])
+            except ValueError:
+                raise ShapeError(
+                    f"line {at}: malformed coordinate entry {parts}"
+                ) from None
         if symmetry == "symmetric":
             off = rows != cols
             rows = np.concatenate([rows, cols[off]])

@@ -156,3 +156,34 @@ def sym_matvec_lower(lower: CSCMatrix, x: np.ndarray) -> np.ndarray:
     off = rows != col_of
     np.add.at(y, col_of[off], vals[off] * x[rows[off]])
     return y
+
+
+def sym_matvec_lower_many(lower: CSCMatrix, x: np.ndarray) -> np.ndarray:
+    """``Y = A @ X`` for a panel ``X`` of shape ``(n, k)``, where A is
+    symmetric with only its lower triangle stored.
+
+    The blocked counterpart of :func:`sym_matvec_lower`: one scatter pass
+    covers every column. The accumulation order per column equals the
+    single-vector version's (``np.add.at`` walks the same entry order and
+    each add is elementwise), so column *j* of the result is bitwise
+    identical to ``sym_matvec_lower(lower, x[:, j])`` — the guarantee the
+    blocked residual checks and blocked iterative refinement build on.
+    """
+    x = as_float_array(x, "x")
+    if x.ndim == 1:
+        return sym_matvec_lower(lower, x)
+    n = lower.shape[0]
+    if lower.shape[0] != lower.shape[1]:
+        raise ShapeError("sym_matvec_lower_many requires a square lower triangle")
+    if x.ndim != 2 or x.shape[0] != n:
+        raise ShapeError(f"x must have shape ({n}, k); got {x.shape}")
+    y = np.zeros((n, x.shape[1]))
+    if lower.nnz == 0:
+        return y
+    col_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(lower.indptr))
+    rows = lower.indices
+    vals = lower.data
+    np.add.at(y, rows, vals[:, None] * x[col_of])
+    off = rows != col_of
+    np.add.at(y, col_of[off], vals[off, None] * x[rows[off]])
+    return y

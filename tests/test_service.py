@@ -163,6 +163,21 @@ class TestJobQueue:
         self.submit_n(svc, lower, 3)
         assert len(svc.queue.pop_batch(coalesce=False)) == 1
 
+    def test_max_rhs_keeps_fifo_order(self):
+        """Regression: a same-key job that does not fit the max_rhs budget
+        closes the key — later-submitted same-key jobs must wait behind it
+        instead of jumping the queue into the current batch."""
+        svc = SolverService()
+        lower = grid2d_laplacian(4)
+        j0 = svc.submit(lower, np.ones((16, 2)))
+        j1 = svc.submit(lower, np.ones((16, 3)))  # overflows the budget
+        j2 = svc.submit(lower, np.ones(16))  # would fit, but is behind j1
+        first = svc.queue.pop_batch(max_rhs=4)
+        assert [j.job_id for j in first] == [j0]
+        # The next batch starts with the job that was bumped, in order.
+        second = svc.queue.pop_batch(max_rhs=4)
+        assert [j.job_id for j in second] == [j1, j2]
+
 
 class TestServiceSolve:
     def test_matches_direct_solver(self):
@@ -319,6 +334,68 @@ class TestResilience:
         res = svc.solve(grid2d_laplacian(4), np.ones(16), timeout=5.0)
         assert res.status == TIMED_OUT
         assert res.retries < 10  # budget cut the retry loop short
+
+    def test_timeout_status_tracks_each_jobs_own_budget(self, monkeypatch):
+        """In a coalesced batch, only jobs whose *own* timeout elapsed are
+        TIMED_OUT; neighbors fail with the underlying error instead."""
+        import repro.core.solver as core_solver
+
+        monkeypatch.setattr(
+            core_solver,
+            "multifrontal_factor",
+            flaky(core_solver.multifrontal_factor, 99, ReproError("bad pivot")),
+        )
+        svc = SolverService(
+            ServiceConfig(max_retries=10),
+            clock=FakeClock(step=3.0),
+            sleep=lambda s: None,
+        )
+        lower = grid2d_laplacian(4)
+        j_timed = svc.submit(lower, np.ones(16), timeout=5.0)
+        j_neighbor = svc.submit(lower, np.ones(16))  # no budget of its own
+        out = svc.drain()
+        assert out[j_timed].status == TIMED_OUT
+        assert out[j_neighbor].status == FAILED
+        assert "bad pivot" in out[j_neighbor].error
+
+    def test_over_budget_batch_fails_fast_without_backoff(self, monkeypatch):
+        """The budget check runs *before* the backoff sleep: a batch whose
+        budget is already spent never burns a sleep."""
+        import repro.core.solver as core_solver
+
+        monkeypatch.setattr(
+            core_solver,
+            "multifrontal_factor",
+            flaky(core_solver.multifrontal_factor, 99, ReproError("slow")),
+        )
+        sleeps = []
+        svc = SolverService(
+            ServiceConfig(max_retries=10),
+            clock=FakeClock(step=10.0),
+            sleep=sleeps.append,
+        )
+        res = svc.solve(grid2d_laplacian(4), np.ones(16), timeout=5.0)
+        assert res.status == TIMED_OUT
+        assert res.retries == 0
+        assert sleeps == []  # budget was gone before the first backoff
+
+    def test_backoff_sleep_capped_at_remaining_budget(self, monkeypatch):
+        import repro.core.solver as core_solver
+
+        monkeypatch.setattr(
+            core_solver,
+            "multifrontal_factor",
+            flaky(core_solver.multifrontal_factor, 99, ReproError("slow")),
+        )
+        sleeps = []
+        svc = SolverService(
+            ServiceConfig(max_retries=10, retry_backoff=100.0),
+            clock=FakeClock(step=3.0),
+            sleep=sleeps.append,
+        )
+        res = svc.solve(grid2d_laplacian(4), np.ones(16), timeout=5.0)
+        assert res.status == TIMED_OUT
+        assert sleeps == [2.0]  # 100 s backoff clipped to the 2 s remaining
 
 
 class TestParallelService:

@@ -314,3 +314,54 @@ class TestEquilibration:
         lower = CSCMatrix.from_dense(np.diag([1.0, -2.0]))
         with pytest.raises(ShapeError):
             symmetric_equilibrate(lower)
+
+
+class TestMatrixMarketMalformed:
+    """Malformed / truncated coordinate files must raise ShapeError naming
+    the offending line, never a bare IndexError/ValueError."""
+
+    HEADER = "%%MatrixMarket matrix coordinate real general\n"
+
+    def read(self, text):
+        return read_matrix_market(io.StringIO(text))
+
+    def test_blank_lines_are_skipped(self):
+        text = (
+            self.HEADER
+            + "\n% a comment\n\n2 2 2\n\n1 1 1.5\n\n\n2 2 2.5\n"
+        )
+        coo, _ = self.read(text)
+        np.testing.assert_allclose(coo.to_dense(), np.diag([1.5, 2.5]))
+
+    def test_truncated_entries_name_missing_entry(self):
+        with pytest.raises(ShapeError, match="entry 2 of 3"):
+            self.read(self.HEADER + "2 2 3\n1 1 1.0\n")
+
+    def test_missing_size_line(self):
+        with pytest.raises(ShapeError, match="truncated"):
+            self.read(self.HEADER + "% only comments follow\n")
+
+    def test_short_entry_names_line(self):
+        with pytest.raises(ShapeError, match="line 4"):
+            self.read(self.HEADER + "2 2 2\n1 1 1.0\n2 2\n")
+
+    def test_pattern_entry_needs_two_tokens(self):
+        text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1\n"
+        with pytest.raises(ShapeError, match="line 3"):
+            self.read(text)
+
+    def test_size_line_token_count(self):
+        with pytest.raises(ShapeError, match="size line"):
+            self.read(self.HEADER + "2 2\n")
+
+    def test_size_line_non_integer(self):
+        with pytest.raises(ShapeError, match="integers"):
+            self.read(self.HEADER + "2 2 one\n")
+
+    def test_non_numeric_entry_names_line(self):
+        with pytest.raises(ShapeError, match="line 4"):
+            self.read(self.HEADER + "% c\n1 1 1\n1 x 3.5\n")
+
+    def test_blank_lines_do_not_shift_error_line_numbers(self):
+        with pytest.raises(ShapeError, match="line 6"):
+            self.read(self.HEADER + "\n\n2 2 2\n1 1 1.0\n2 2\n")
