@@ -15,6 +15,7 @@ RP004  no ``print`` in library code (CLI excluded)
 RP005  package ``__init__`` modules must declare ``__all__``
 RP006  unused imports (``__all__``-aware; ``__init__`` re-exports exempt)
 RP007  no direct ``time.perf_counter()`` outside timing/observability code
+RP008  no raw threading / concurrent.futures outside :mod:`repro.exec`
 
 Run via ``python -m repro.cli check --lint [PATHS…]`` or
 :func:`lint_paths`.
@@ -517,6 +518,58 @@ class NoDirectPerfCounterRule(LintRule):
                 )
 
 
+# -- RP008 -------------------------------------------------------------------
+
+#: the one package allowed to use raw thread primitives — the execution
+#: backend that owns all shared-memory concurrency
+_THREADING_EXEMPT_PREFIXES = ("repro.exec",)
+
+#: module roots whose import anywhere else indicates ad-hoc concurrency
+_THREADING_MODULES = frozenset(
+    {"threading", "_thread", "concurrent", "multiprocessing", "queue"}
+)
+
+
+class NoRawThreadingRule(LintRule):
+    """RP008: raw thread primitives live only in :mod:`repro.exec`.
+
+    The bitwise-oracle contract of the threads backend holds because all
+    shared-memory concurrency is concentrated in one audited worker pool
+    (:mod:`repro.exec.pool`). An ad-hoc ``threading.Thread`` or
+    ``ThreadPoolExecutor`` elsewhere reintroduces scheduling-dependent
+    operation orders — and answer bits — that no test would pin down.
+    Route parallel work through ``SparseSolver(..., backend="threads")``
+    or the :class:`repro.exec.pool.TaskPool` API instead.
+    """
+
+    id = "RP008"
+    title = "raw threading outside repro.exec"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro and not any(
+            ctx.module == p or ctx.module.startswith(p + ".")
+            for p in _THREADING_EXEMPT_PREFIXES
+        )
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ast.walk(ctx.tree):
+            names: list[str] = []
+            if isinstance(node, ast.Import):
+                names = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            for name in names:
+                root = name.split(".")[0]
+                if root in _THREADING_MODULES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import of {name!r} outside repro.exec — all "
+                        "shared-memory concurrency goes through the "
+                        "repro.exec worker pool (backend='threads')",
+                    )
+
+
 # -- engine ------------------------------------------------------------------
 
 DEFAULT_RULES: tuple[type[LintRule], ...] = (
@@ -527,6 +580,7 @@ DEFAULT_RULES: tuple[type[LintRule], ...] = (
     InitNeedsAllRule,
     UnusedImportRule,
     NoDirectPerfCounterRule,
+    NoRawThreadingRule,
 )
 
 #: id → one-line description (the DESIGN.md rule catalog is generated

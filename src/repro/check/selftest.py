@@ -97,6 +97,22 @@ _LINT_CASES: tuple[tuple[str, str, str, str, int], ...] = (
         "import time\n\n\ndef f() -> float:\n    return time.perf_counter()\n",
         1,
     ),
+    (
+        "RP008",
+        "repro.service.fixture",
+        "<selftest>",
+        "import threading\n\n\ndef f():\n    return threading.Lock()\n",
+        1,
+    ),
+    (
+        "RP008",
+        "repro.mf.fixture",
+        "<selftest>",
+        "from concurrent.futures import ThreadPoolExecutor as TPE\n\n\n"
+        "def f(tasks):\n    with TPE(4) as ex:\n"
+        "        return list(ex.map(str, tasks))\n",
+        1,
+    ),
 )
 
 _CLEAN_SOURCE = (

@@ -125,6 +125,12 @@ def cmd_solve(args) -> int:
     if unsym:
         from repro.core.lu_solver import UnsymmetricSolver
 
+        if args.backend != "seq":
+            print(
+                "note: --backend applies to the symmetric solver only; "
+                "the LU path runs sequentially",
+                file=sys.stderr,
+            )
         lu = UnsymmetricSolver(a, ordering=args.ordering)
         res = lu.solve(b, refine=not args.no_refine)
         print(
@@ -133,7 +139,13 @@ def cmd_solve(args) -> int:
         )
         return 0 if res.residual < 1e-8 else 1
     solver = SparseSolver(a, method=args.method, ordering=args.ordering)
-    res = solver.solve(b, refine=not args.no_refine)
+    solver.factor(backend=args.backend, workers=args.workers)
+    res = solver.solve(
+        b,
+        refine=not args.no_refine,
+        backend=args.backend,
+        workers=args.workers,
+    )
     print(f"n={n}  residual={res.residual:.3e}  refine_iters={res.refinement_iterations}")
     if args.condest:
         print(f"condition estimate (1-norm): {solver.condition_estimate():.3e}")
@@ -242,6 +254,8 @@ def cmd_serve_sim(args) -> int:
             coalesce=not args.no_coalesce,
             ordering=args.ordering,
             parallel=parallel,
+            backend=args.backend,
+            workers=args.workers,
         )
     )
     if not args.mesh and not args.matrix:
@@ -377,8 +391,8 @@ def cmd_obs(args) -> int:
     with obs_spans.recording() as rec:
         solver = SparseSolver(a, method=args.method, ordering=args.ordering)
         solver.analyze()
-        solver.factor()
-        res = solver.solve(b)
+        solver.factor(backend=args.backend, workers=args.workers)
+        res = solver.solve(b, backend=args.backend, workers=args.workers)
         fres = simulate_factorization(
             solver.sym,
             args.ranks,
@@ -440,6 +454,23 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ordering", default="nd")
 
 
+def _add_backend(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        default="seq",
+        choices=["seq", "threads"],
+        help="numeric execution backend: sequential host, or the "
+        "shared-memory worker pool (bitwise identical results)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker threads for --backend threads (default: auto)",
+    )
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -452,6 +483,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("solve", help="factor + solve, print diagnostics")
     _add_common(p)
+    _add_backend(p)
     p.add_argument("--rhs", default="ones", choices=["ones", "random"])
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--no-refine", action="store_true")
@@ -487,6 +519,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="replay a synthetic transient-FE trace through repro.service",
     )
     _add_common(p)
+    _add_backend(p)
     p.add_argument(
         "--steps",
         type=int,
@@ -557,6 +590,7 @@ def make_parser() -> argparse.ArgumentParser:
         help="observed end-to-end run: span report, metrics, Chrome trace",
     )
     _add_common(p)
+    _add_backend(p)
     p.add_argument("--ranks", type=int, default=4, help="simulated rank count")
     p.add_argument("--machine", default="generic-cluster")
     p.add_argument("--nb", type=int, default=32)

@@ -44,6 +44,11 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.ops import sym_matvec_lower_many, tril, is_structurally_symmetric
 from repro.symbolic.analyze import AnalyzeOptions, SymbolicFactor, analyze
 from repro.util.errors import PatternMismatchError, ReproError, ShapeError
+
+#: execution backends of the numeric phases: ``"seq"`` runs on the host
+#: thread, ``"threads"`` on a :mod:`repro.exec` worker pool (bitwise
+#: identical results either way — the sequential path is the oracle)
+EXEC_BACKENDS = ("seq", "threads")
 from repro.util.timing import WallTimer
 from repro.util.validation import as_float_array
 
@@ -205,19 +210,68 @@ class SparseSolver:
         )
         return self._analyze_info
 
-    def factor(self) -> NumericFactor:
-        """Sequential numeric factorization on the host."""
+    def factor(
+        self, backend: str = "seq", workers: int | None = None
+    ) -> NumericFactor:
+        """Numeric factorization on the host.
+
+        ``backend="seq"`` (default) runs on the calling thread;
+        ``backend="threads"`` runs the same elimination-tree task graph on
+        a :mod:`repro.exec` worker pool (*workers* threads, default
+        :func:`repro.exec.pool.default_workers`) and returns a **bitwise
+        identical** factor for any worker count.
+        """
         if self.sym is None:
             self.analyze()
-        with span("solver.factor", method=self.method):
-            self.numeric = multifrontal_factor(
+        with span("solver.factor", method=self.method, backend=backend):
+            self.numeric = self._factor_backend(backend, workers)
+        return self.numeric
+
+    def _factor_backend(self, backend: str, workers: int | None) -> NumericFactor:
+        if backend == "seq":
+            return multifrontal_factor(
                 self.sym,
                 method=self.method,
                 pivot_perturbation=self.pivot_perturbation,
             )
-        return self.numeric
+        if backend == "threads":
+            from repro.exec import multifrontal_factor_threads
 
-    def solve(self, b: np.ndarray, refine: bool = True, tol: float = 1e-12) -> SolveResult:
+            return multifrontal_factor_threads(
+                self.sym,
+                method=self.method,
+                pivot_perturbation=self.pivot_perturbation,
+                workers=workers,
+            )
+        raise ShapeError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{EXEC_BACKENDS}"
+        )
+
+    def _solve_backend(self, backend: str, workers: int | None):
+        """Blocked solve kernel for *backend*: ``solve_fn(factor, b)``."""
+        if backend == "seq":
+            return mf_solve_many
+        if backend == "threads":
+            from repro.exec import solve_many_threads
+
+            def solve_fn(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
+                return solve_many_threads(factor, b, workers=workers)
+
+            return solve_fn
+        raise ShapeError(
+            f"unknown execution backend {backend!r}; expected one of "
+            f"{EXEC_BACKENDS}"
+        )
+
+    def solve(
+        self,
+        b: np.ndarray,
+        refine: bool = True,
+        tol: float = 1e-12,
+        backend: str = "seq",
+        workers: int | None = None,
+    ) -> SolveResult:
         """Solve ``A x = b`` (factors first if needed).
 
         *b* is one right-hand side ``(n,)`` or a panel ``(n, k)``. A panel
@@ -225,15 +279,22 @@ class SparseSolver:
         columns, bitwise identical per column to solving each column alone.
         For a panel the reported ``residual`` and ``refinement_iterations``
         are the worst (max) over columns.
+
+        ``backend="threads"`` runs the triangular sweeps (including those
+        inside iterative refinement) level-set scheduled on a
+        :mod:`repro.exec` worker pool — bitwise identical to the default
+        sequential sweeps for any worker count. The backend applies to the
+        solve only; pass it to :meth:`factor` separately.
         """
         if self.numeric is None:
             self.factor()
         b = as_float_array(b, "b")
+        solve_fn = self._solve_backend(backend, workers)
         n_rhs = 1 if b.ndim == 1 else int(b.shape[1])
-        with span("solver.solve", refine=refine, rhs=n_rhs):
+        with span("solver.solve", refine=refine, rhs=n_rhs, backend=backend):
             if refine:
                 res = iterative_refinement_many(
-                    self.numeric, self.lower, b, tol=tol
+                    self.numeric, self.lower, b, tol=tol, solve_fn=solve_fn
                 )
                 x = res.x[:, 0] if b.ndim == 1 else res.x
                 return SolveResult(
@@ -241,7 +302,7 @@ class SparseSolver:
                     residual=float(np.max(res.residuals)),
                     refinement_iterations=int(np.max(res.iterations)),
                 )
-            x = mf_solve_many(self.numeric, b)
+            x = solve_fn(self.numeric, b)
             b2 = b[:, None] if b.ndim == 1 else b
             x2 = x[:, None] if x.ndim == 1 else x
             r = b2 - sym_matvec_lower_many(self.lower, x2)
@@ -346,22 +407,24 @@ class SparseSolver:
         )
         self.numeric = None
 
-    def refactor(self, new_a: CSCMatrix) -> NumericFactor:
+    def refactor(
+        self,
+        new_a: CSCMatrix,
+        backend: str = "seq",
+        workers: int | None = None,
+    ) -> NumericFactor:
         """Numeric re-factorization with new values on the *same* pattern.
 
         The workhorse of nonlinear/transient workflows (the paper's
         sheet-forming runs factor thousands of matrices with one analysis):
         reuses the symbolic factorization, only the numeric phase reruns.
         Raises :class:`~repro.util.errors.PatternMismatchError` when *new_a*
-        has a different structure.
+        has a different structure. *backend* / *workers* as in
+        :meth:`factor`.
         """
         self.update_values(new_a)
-        with span("solver.refactor", method=self.method):
-            self.numeric = multifrontal_factor(
-                self.sym,
-                method=self.method,
-                pivot_perturbation=self.pivot_perturbation,
-            )
+        with span("solver.refactor", method=self.method, backend=backend):
+            self.numeric = self._factor_backend(backend, workers)
         return self.numeric
 
     def condition_estimate(self, max_iter: int = 5) -> float:

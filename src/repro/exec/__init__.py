@@ -1,0 +1,53 @@
+"""repro.exec: the real shared-memory execution backend.
+
+Everything else in the library models parallelism (the simulated
+distributed engine) or runs sequentially; this package *executes* the
+same elimination-tree task graphs on actual worker threads, with the
+sequential path as a bitwise oracle: for any worker count, factors and
+solutions are bit-identical to the sequential driver.
+
+Layout
+------
+``tasks``
+    Static task graphs (factor / forward / backward) plus the
+    deterministic forward-solve contribution routing.
+``pool``
+    The dependency-counting worker pool — the only module in the library
+    allowed to use raw thread primitives (lint rule RP008).
+``factor_exec``
+    :func:`multifrontal_factor_threads`, the threaded numeric phase.
+``solve_exec``
+    :func:`solve_threads` / :func:`solve_many_threads`, level-set
+    scheduled triangular solves.
+
+Most callers should go through :class:`repro.core.solver.SparseSolver`
+with ``backend="threads"`` rather than these functions directly.
+"""
+
+from repro.exec.factor_exec import multifrontal_factor_threads
+from repro.exec.pool import MAX_DEFAULT_WORKERS, PoolStats, TaskPool, default_workers
+from repro.exec.solve_exec import solve_many_threads, solve_threads
+from repro.exec.tasks import (
+    ContributionPlan,
+    TaskGraph,
+    backward_solve_task_graph,
+    factor_task_graph,
+    forward_contributions,
+    forward_solve_task_graph,
+)
+
+__all__ = [
+    "multifrontal_factor_threads",
+    "solve_threads",
+    "solve_many_threads",
+    "TaskPool",
+    "PoolStats",
+    "default_workers",
+    "MAX_DEFAULT_WORKERS",
+    "TaskGraph",
+    "ContributionPlan",
+    "factor_task_graph",
+    "forward_solve_task_graph",
+    "backward_solve_task_graph",
+    "forward_contributions",
+]

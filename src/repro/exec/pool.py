@@ -1,0 +1,295 @@
+"""Dependency-counting worker pool: real shared-memory task execution.
+
+This module is the **only** place in the library allowed to touch raw
+thread primitives (lint rule RP008): every thread, lock, and condition
+variable of the shared-memory backend lives here, so the rest of the
+codebase stays single-threaded and bit-deterministic by construction.
+
+Design
+------
+One :class:`TaskPool` run executes one :class:`~repro.exec.tasks.TaskGraph`:
+
+* a shared **ready heap** ordered by task priority (heavy subtrees first,
+  task id as the deterministic tiebreak), guarded by one condition
+  variable;
+* each worker loops pop → execute → decrement dependents, pushing newly
+  ready tasks and waking peers. Task bodies run *outside* the lock —
+  numpy releases the GIL inside its BLAS-3-sized kernels, which is where
+  the real concurrency comes from;
+* a task exception cancels the run: the ready heap is drained, every
+  worker exits, and :meth:`TaskPool.run` re-raises the original exception
+  (a non-positive pivot surfaces as :class:`NotPositiveDefiniteError`,
+  exactly like the sequential path);
+* an empty heap with no task in flight and work remaining means the graph
+  has a cycle — the pool raises
+  :class:`~repro.util.errors.ExecBackendError` instead of deadlocking;
+* :meth:`TaskPool.cancel` (from a task or another thread) shuts the pool
+  down: the current run drains and raises, later runs refuse to start.
+
+Observability: when a span recorder is installed, every task's
+``(worker, start, end)`` lands in ``recorder.exec_events`` (per-worker
+rows in the Chrome trace); :meth:`PoolStats.publish` exports the queue
+depth high-water mark, task count, and task-latency histogram into a
+:class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.exec.tasks import TaskGraph
+from repro.obs.profile import FrontProfile
+from repro.obs.spans import ExecTaskEvent, current_recorder
+from repro.util.errors import ExecBackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["TaskPool", "PoolStats", "default_workers"]
+
+#: cap on the automatic worker count (diminishing returns past this for
+#: GIL-sharing Python task bookkeeping, however many cores the host has)
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_workers() -> int:
+    """Worker count used when the caller passes ``workers=None``."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+@dataclass
+class PoolStats:
+    """Outcome of one :meth:`TaskPool.run`."""
+
+    workers: int
+    n_tasks: int
+    completed: int
+    #: ready-heap high-water mark (parallel slack the schedule exposed)
+    max_queue_depth: int
+    #: wall seconds each worker spent inside task bodies (timed runs only)
+    busy_seconds: list[float] = field(default_factory=list)
+    #: per-task wall seconds (timed runs only)
+    task_seconds: list[float] = field(default_factory=list)
+
+    def publish(self, registry: MetricsRegistry, prefix: str = "exec") -> None:
+        """Export pool telemetry into *registry*: worker/queue gauges, a
+        task counter, and the task-latency histogram."""
+        registry.gauge(f"{prefix}_workers").set(float(self.workers))
+        registry.gauge(f"{prefix}_queue_depth_peak").set(float(self.max_queue_depth))
+        registry.inc(f"{prefix}_tasks", self.completed)
+        for dt in self.task_seconds:
+            registry.observe(f"{prefix}_task_seconds", dt)
+
+
+class _RunState:
+    """Shared mutable state of one pool run (guarded by ``cond``)."""
+
+    def __init__(self, graph: TaskGraph) -> None:
+        self.graph = graph
+        self.cond = threading.Condition()
+        self.n_deps_left = [int(d) for d in graph.n_deps]
+        self.ready: list[tuple[float, int]] = [
+            (-float(graph.priority[t]), t) for t in graph.roots()
+        ]
+        heapq.heapify(self.ready)
+        self.active = 0
+        self.completed = 0
+        self.stop = False
+        self.cancelled = False
+        self.error: BaseException | None = None
+        self.max_queue_depth = len(self.ready)
+
+
+class TaskPool:
+    """A pool of worker threads executing dependency-counted task graphs.
+
+    One pool may run several graphs sequentially (the solve path runs the
+    forward and backward graphs back to back); a run in progress cannot
+    overlap another. After :meth:`cancel` the pool is shut down for good.
+    """
+
+    def __init__(self, workers: int, name: str = "exec"):
+        if not isinstance(workers, int) or workers < 1:
+            raise ExecBackendError(
+                f"worker count must be a positive integer; got {workers!r}"
+            )
+        self.workers = workers
+        self.name = name
+        self._lock = threading.Lock()
+        self._cancelled = False
+        self._state: _RunState | None = None
+
+    # -- control -------------------------------------------------------------
+
+    def cancel(self) -> None:
+        """Shut the pool down: drain the current run (its :meth:`run`
+        raises :class:`ExecBackendError`) and refuse future runs. Safe to
+        call from a task body or from another thread."""
+        with self._lock:
+            self._cancelled = True
+            state = self._state
+        if state is not None:
+            with state.cond:
+                state.stop = True
+                state.cancelled = True
+                state.ready.clear()
+                state.cond.notify_all()
+
+    @property
+    def cancelled(self) -> bool:
+        with self._lock:
+            return self._cancelled
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        graph: TaskGraph,
+        run_task: Callable[[int], None],
+        registry: MetricsRegistry | None = None,
+    ) -> PoolStats:
+        """Execute every task of *graph*; returns the run's telemetry.
+
+        Raises the first task exception verbatim after draining, or
+        :class:`ExecBackendError` for pool-level failures (cancellation,
+        a stalled/cyclic graph, a pool already shut down).
+        """
+        with self._lock:
+            if self._cancelled:
+                raise ExecBackendError(f"{self.name} pool is shut down")
+            if self._state is not None:
+                raise ExecBackendError(f"{self.name} pool is already running")
+            state = _RunState(graph)
+            self._state = state
+
+        recorder = current_recorder()
+        timed = recorder is not None or registry is not None
+        clock = FrontProfile.clock
+        # Per-worker event/latency lists: written lock-free by exactly one
+        # worker each, merged after the join.
+        events: list[list[ExecTaskEvent]] = [[] for _ in range(self.workers)]
+        try:
+            threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(wid, state, run_task, timed, clock, events[wid]),
+                    name=f"{self.name}-worker-{wid}",
+                    daemon=True,
+                )
+                for wid in range(self.workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            with self._lock:
+                self._state = None
+
+        if state.error is not None:
+            raise state.error
+        if state.cancelled:
+            raise ExecBackendError(
+                f"{self.name} pool cancelled with "
+                f"{state.completed}/{graph.n_tasks} tasks completed"
+            )
+        if state.completed != graph.n_tasks:
+            raise ExecBackendError(
+                f"{self.name} pool finished {state.completed}/"
+                f"{graph.n_tasks} tasks (inconsistent task graph)"
+            )
+
+        stats = PoolStats(
+            workers=self.workers,
+            n_tasks=graph.n_tasks,
+            completed=state.completed,
+            max_queue_depth=state.max_queue_depth,
+        )
+        if timed:
+            stats.busy_seconds = [
+                sum(e.duration for e in lane) for lane in events
+            ]
+            stats.task_seconds = [e.duration for lane in events for e in lane]
+        if recorder is not None:
+            for lane in events:
+                recorder.exec_events.extend(lane)
+        if registry is not None:
+            stats.publish(registry)
+        return stats
+
+    def _worker(
+        self,
+        wid: int,
+        state: _RunState,
+        run_task: Callable[[int], None],
+        timed: bool,
+        clock: Callable[[], float],
+        lane: list[ExecTaskEvent],
+    ) -> None:
+        graph = state.graph
+        while True:
+            with state.cond:
+                while True:
+                    if state.stop:
+                        return
+                    if state.ready:
+                        break
+                    if state.active == 0:
+                        # Nothing running, nothing ready, work remaining:
+                        # the graph has a dependency cycle. Fail loudly
+                        # instead of deadlocking every worker.
+                        state.error = ExecBackendError(
+                            f"{self.name} pool stalled: "
+                            f"{graph.n_tasks - state.completed} tasks "
+                            "blocked with none in flight (dependency cycle?)"
+                        )
+                        state.stop = True
+                        state.cond.notify_all()
+                        return
+                    state.cond.wait()
+                _, tid = heapq.heappop(state.ready)
+                state.active += 1
+
+            t0 = clock() if timed else 0.0
+            try:
+                run_task(tid)
+            # The catch-all is the capture half of cross-thread propagation:
+            # run() re-raises state.error verbatim on the calling thread.
+            except BaseException as exc:  # repro: noqa[RP001]
+                with state.cond:
+                    if state.error is None:
+                        state.error = exc
+                    state.stop = True
+                    state.active -= 1
+                    state.ready.clear()
+                    state.cond.notify_all()
+                return
+            if timed:
+                lane.append(
+                    ExecTaskEvent(
+                        name=f"{graph.label}:s{tid}",
+                        worker=wid,
+                        start=t0,
+                        end=clock(),
+                    )
+                )
+
+            with state.cond:
+                state.active -= 1
+                state.completed += 1
+                for d in graph.dependents[tid]:
+                    state.n_deps_left[d] -= 1
+                    if state.n_deps_left[d] == 0:
+                        heapq.heappush(
+                            state.ready, (-float(graph.priority[d]), d)
+                        )
+                        state.cond.notify()
+                if len(state.ready) > state.max_queue_depth:
+                    state.max_queue_depth = len(state.ready)
+                if state.completed == graph.n_tasks:
+                    state.stop = True
+                    state.cond.notify_all()

@@ -1,0 +1,158 @@
+"""Level-set-scheduled parallel triangular solves (threads backend).
+
+The forward and backward substitutions run the *same* per-supernode
+kernels as the sequential sweeps (:func:`repro.mf.solve_phase.forward_front`
+/ :func:`~repro.mf.solve_phase.backward_front`), scheduled over the
+elimination-tree task graphs of :mod:`repro.exec.tasks` on a
+:class:`~repro.exec.pool.TaskPool`.
+
+Bitwise-oracle contract
+-----------------------
+``solve_threads`` / ``solve_many_threads`` match
+:func:`repro.mf.solve_phase.solve` / ``solve_many`` bit for bit, for any
+worker count:
+
+* **forward** — the sequential sweep computes supernode *s*'s update
+  panel and subtracts it from ``y`` rows owned by *ancestor* supernodes.
+  Here the panel is computed by the identical ``forward_front`` call and
+  *published*; each ancestor applies its incoming row-runs at the start
+  of its own task, in ascending source order — the exact per-element
+  subtraction sequence of the sequential sweep (contributions from
+  distinct sources hit disjoint slices of a run owner's rows in source
+  order either way). Every ``y`` row is written only by the task of the
+  supernode that owns it, so there are no cross-thread write races;
+* **backward** — a supernode reads ancestor rows (final once the parent's
+  task completed, by induction) and writes only its own pivot rows. No
+  synchronization on ``y`` at all, just the parent-before-child graph.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exec.pool import TaskPool, default_workers
+from repro.exec.tasks import (
+    backward_solve_task_graph,
+    forward_contributions,
+    forward_solve_task_graph,
+)
+from repro.mf.numeric import NumericFactor
+from repro.mf.solve_phase import backward_front, forward_front
+from repro.obs.spans import span
+from repro.sparse.permute import permute_vector, unpermute_vector
+from repro.util.errors import ShapeError
+from repro.util.validation import as_float_array
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["solve_threads", "solve_many_threads"]
+
+
+def solve_threads(
+    factor: NumericFactor,
+    b: np.ndarray,
+    workers: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> np.ndarray:
+    """Solve ``A x = b`` for one right-hand side on worker threads.
+
+    Bitwise identical to :func:`repro.mf.solve_phase.solve`.
+    """
+    b = as_float_array(b, "b")
+    n = factor.n
+    if b.shape != (n,):
+        raise ShapeError(f"b must have shape ({n},); got {b.shape}")
+    return _solve_permuted(factor, b, workers, registry)
+
+
+def solve_many_threads(
+    factor: NumericFactor,
+    b: np.ndarray,
+    workers: int | None = None,
+    registry: MetricsRegistry | None = None,
+) -> np.ndarray:
+    """Blocked multi-RHS solve on worker threads.
+
+    Mirrors the dispatch of :func:`repro.mf.solve_phase.solve_many`
+    exactly (1-D → vector path, one column → single-RHS path, else the
+    panel path), so every column's bits match the sequential solve of
+    that column.
+    """
+    b = as_float_array(b, "b")
+    if b.ndim == 1:
+        return solve_threads(factor, b, workers, registry)
+    n = factor.n
+    if b.ndim != 2 or b.shape[0] != n:
+        raise ShapeError(f"b must have shape ({n},) or ({n}, k); got {b.shape}")
+    if b.shape[1] == 1:
+        return solve_threads(factor, b[:, 0], workers, registry)[:, None]
+    return _solve_permuted(factor, b, workers, registry)
+
+
+def _solve_permuted(
+    factor: NumericFactor,
+    b: np.ndarray,
+    workers: int | None,
+    registry: MetricsRegistry | None,
+) -> np.ndarray:
+    """Permute → threaded forward → scale → threaded backward → unpermute."""
+    if workers is None:
+        workers = default_workers()
+    sym = factor.sym
+    rhs = 1 if b.ndim == 1 else int(b.shape[1])
+    pool = TaskPool(workers, name="solve")
+    with span(
+        "exec.solve", n=factor.n, rhs=rhs, method=factor.method, workers=workers
+    ):
+        y = permute_vector(b, sym.perm)
+        _forward_threads(factor, y, pool, registry)
+        if factor.method == "ldlt":
+            if y.ndim == 1:
+                y /= factor.diag
+            else:
+                y /= factor.diag[:, None]
+        _backward_threads(factor, y, pool, registry)
+        return unpermute_vector(y, sym.perm)
+
+
+def _forward_threads(
+    factor: NumericFactor,
+    y: np.ndarray,
+    pool: TaskPool,
+    registry: MetricsRegistry | None,
+) -> None:
+    """Task-parallel forward substitution ``y <- L^{-1} y`` in place."""
+    sym = factor.sym
+    plan = forward_contributions(sym)
+    #: published update panels, consumed by ancestor-owner tasks
+    upd_store: list[np.ndarray | None] = [None] * sym.n_supernodes
+
+    def run_task(s: int) -> None:
+        # Apply incoming descendant contributions to this supernode's own
+        # rows first, ascending by source — the sequential subtraction
+        # order for these elements.
+        for src, lo, hi in plan.incoming[s]:
+            u = upd_store[src]
+            srows = sym.sn_rows[src]
+            wsrc = sym.supernode_width(src)
+            y[srows[wsrc + lo: wsrc + hi]] -= u[lo:hi]
+        upd_store[s] = forward_front(factor, s, y)
+
+    pool.run(forward_solve_task_graph(sym), run_task, registry=registry)
+
+
+def _backward_threads(
+    factor: NumericFactor,
+    y: np.ndarray,
+    pool: TaskPool,
+    registry: MetricsRegistry | None,
+) -> None:
+    """Task-parallel backward substitution ``y <- L^{-T} y`` in place."""
+
+    def run_task(s: int) -> None:
+        backward_front(factor, s, y)
+
+    pool.run(backward_solve_task_graph(factor.sym), run_task, registry=registry)

@@ -40,6 +40,9 @@ class NumericFactor:
     stats: FactorStats = field(default_factory=FactorStats)
     #: permuted-order columns whose LDLᵀ pivots were statically perturbed
     perturbed_columns: tuple[int, ...] = ()
+    #: pool telemetry (:class:`repro.exec.pool.PoolStats`) when this factor
+    #: was produced by the threads backend; None for the sequential driver
+    exec_stats: object | None = None
 
     @property
     def n(self) -> int:
@@ -62,6 +65,63 @@ class NumericFactor:
             if self.method == "ldlt":
                 l[np.arange(c0, c0 + w), np.arange(c0, c0 + w)] = 1.0
         return l
+
+
+def factor_front(
+    sym: SymbolicFactor,
+    s: int,
+    method: str,
+    perturb_abs: float | None,
+    child_updates,
+    perturbed: list[int],
+    prof,
+) -> tuple[np.ndarray, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None, int]:
+    """Assemble, extend-add, and partially factor the front of supernode *s*.
+
+    Shared by the sequential driver below and the threads backend
+    (:mod:`repro.exec.factor_exec`), so both execute the *identical*
+    floating-point operation sequence per front — the foundation of the
+    bitwise-oracle contract between the two backends.
+
+    Parameters
+    ----------
+    child_updates
+        Iterable of ``(update, update_rows)`` pairs in ascending child
+        order. May be a generator: the sequential driver pops (and
+        spill-accounts) each child's update lazily at exactly the point
+        the pre-refactor loop did.
+    perturbed
+        Sink list for statically perturbed LDLᵀ pivot columns.
+    prof
+        The active :class:`~repro.obs.profile.FrontProfile` or None.
+
+    Returns ``(block, d, update, front_flops)``: the m×w factor panel
+    copy, the LDLᵀ pivots (None for Cholesky), the Schur update as
+    ``(matrix, rows)`` (None when the front has no update rows), and the
+    dense partial-factorization flop count.
+    """
+    a = sym.permuted_lower
+    rows = sym.sn_rows[s]
+    w = sym.supernode_width(s)
+    c0 = int(sym.partition.sn_start[s])
+    front = assemble_front(a, rows, c0, w)
+    for upd, upd_rows in child_updates:
+        extend_add(front, rows, upd, upd_rows)
+    m = rows.size
+    t_front = prof.clock() if prof is not None else 0.0
+    d: np.ndarray | None = None
+    if method == "cholesky":
+        partial_cholesky(front, w)
+    else:
+        d = partial_ldlt(
+            front, w, perturb=perturb_abs, col_offset=c0, perturbed=perturbed
+        )
+    front_flops = dense_partial_factor_flops(m, w)
+    if prof is not None:
+        prof.observe_front(s, m, w, front_flops, prof.clock() - t_front)
+    block = front[:, :w].copy()
+    update = (front[w:, w:].copy(), rows[w:]) if m > w else None
+    return block, d, update, front_flops
 
 
 def multifrontal_factor(
@@ -129,6 +189,21 @@ def multifrontal_factor(
             stats.spill_entries_written += upd.size
             stack_entries -= upd.size
 
+    def pop_child_updates(s: int):
+        """Yield child updates in ascending child order, with the pop and
+        spill accounting happening lazily inside the extend-add loop of
+        :func:`factor_front` — the exact point the pre-refactor loop did
+        them, keeping out-of-core accounting unchanged."""
+        nonlocal stack_entries
+        for c in sym.sn_children[s]:
+            upd, upd_rows = updates.pop(c)
+            if c in spilled:
+                spilled.discard(c)
+                stats.spill_entries_read += upd.size
+            else:
+                stack_entries -= upd.size
+            yield upd, upd_rows
+
     # Observability: one span over the numeric phase; per-front timing is
     # recorded only when a recorder is installed (prof None check keeps the
     # disabled path free of timing calls — see lint rule RP007).
@@ -139,42 +214,21 @@ def multifrontal_factor(
             rows = sym.sn_rows[s]
             w = sym.supernode_width(s)
             c0 = int(sym.partition.sn_start[s])
-            enforce_memory_cap(rows.size * rows.size)
-            front = assemble_front(a, rows, c0, w)
-            for c in sym.sn_children[s]:
-                upd, upd_rows = updates.pop(c)
-                if c in spilled:
-                    spilled.discard(c)
-                    stats.spill_entries_read += upd.size
-                else:
-                    stack_entries -= upd.size
-                extend_add(front, rows, upd, upd_rows)
             m = rows.size
-            t_front = prof.clock() if prof is not None else 0.0
-            if method == "cholesky":
-                partial_cholesky(front, w)
-            else:
-                d = partial_ldlt(
-                    front,
-                    w,
-                    perturb=perturb_abs,
-                    col_offset=c0,
-                    perturbed=perturbed,
-                )
+            enforce_memory_cap(m * m)
+            block, d, update, front_flops = factor_front(
+                sym, s, method, perturb_abs, pop_child_updates(s), perturbed, prof
+            )
+            if d is not None:
                 diag[c0: c0 + w] = d
-            front_flops = dense_partial_factor_flops(m, w)
-            if prof is not None:
-                prof.observe_front(s, m, w, front_flops, prof.clock() - t_front)
-            blocks[s] = front[:, :w].copy()
+            blocks[s] = block
             stats.observe_front(m, w, front_flops)
             stats.factor_entries += m * w - w * (w - 1) // 2
-            if m > w:
-                update = front[w:, w:].copy()
-                updates[s] = (update, rows[w:])
-                stack_entries += update.size
+            if update is not None:
+                updates[s] = update
+                stack_entries += update[0].size
                 stats.peak_stack_entries = max(stats.peak_stack_entries, stack_entries)
                 enforce_memory_cap(0)
-            del front
 
     if updates:
         raise InvariantError(

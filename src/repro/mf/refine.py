@@ -72,9 +72,15 @@ def _refine_panel(
     b: np.ndarray,
     max_iter: int,
     tol: float,
+    solve_fn=solve_many,
 ) -> PanelRefinementResult:
     """Refine all columns of *b* (shape ``(n, k)``) with per-column
-    convergence tracking and one blocked sweep pair per iteration."""
+    convergence tracking and one blocked sweep pair per iteration.
+
+    *solve_fn* is the blocked direct-solve kernel (default the sequential
+    :func:`~repro.mf.solve_phase.solve_many`; the threads backend passes
+    :func:`repro.exec.solve_exec.solve_many_threads`, which is bitwise
+    identical, so the refinement trajectory is too)."""
     n, k = b.shape
     x = np.zeros((n, k))
     norms = (
@@ -92,7 +98,7 @@ def _refine_panel(
         converged[j] = True
 
     if active.size:
-        x[:, active] = solve_many(factor, b[:, active])
+        x[:, active] = solve_fn(factor, b[:, active])
     for it in range(max_iter + 1):
         if not active.size:
             break
@@ -114,7 +120,7 @@ def _refine_panel(
             iterations[active] = max_iter
             break
         # One blocked correction solve for every still-active column.
-        x[:, active] += solve_many(factor, r)
+        x[:, active] += solve_fn(factor, r)
     return PanelRefinementResult(
         x=x,
         residual_history=tuple(tuple(h) for h in histories),
@@ -153,6 +159,7 @@ def iterative_refinement_many(
     b: np.ndarray,
     max_iter: int = 5,
     tol: float = 1e-14,
+    solve_fn=solve_many,
 ) -> PanelRefinementResult:
     """Blocked iterative refinement of ``A X = B`` for a panel *b*.
 
@@ -168,4 +175,4 @@ def iterative_refinement_many(
     n = factor.n
     if b.shape[0] != n:
         raise ShapeError(f"b must have {n} rows; got {b.shape}")
-    return _refine_panel(factor, original_lower, b, max_iter, tol)
+    return _refine_panel(factor, original_lower, b, max_iter, tol, solve_fn=solve_fn)

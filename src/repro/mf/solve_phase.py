@@ -88,36 +88,84 @@ def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
         return unpermute_vector(y, sym.perm)
 
 
+def forward_front(factor: NumericFactor, s: int, y: np.ndarray) -> np.ndarray | None:
+    """One supernode's forward-substitution step on the permuted RHS *y*.
+
+    Solves the diagonal block against y's pivot rows in place and returns
+    the off-diagonal update panel (None when the supernode has no update
+    rows). The *caller* subtracts the update from y — directly below
+    (sequential sweep) or split per owning ancestor supernode
+    (:mod:`repro.exec.solve_exec`). Shared by both so the per-supernode
+    operation sequence is identical — the bitwise-oracle contract.
+    """
+    sym = factor.sym
+    rows = sym.sn_rows[s]
+    w = sym.supernode_width(s)
+    block = factor.blocks[s]
+    panel = y.ndim == 2
+    piv = y[rows[:w]]
+    if factor.method == "ldlt":
+        solve_unit_lower_inplace(block[:w, :], piv)
+    else:
+        solve_lower_inplace(block[:w, :], piv)
+    y[rows[:w]] = piv
+    if rows.size > w:
+        l21 = block[w:, :]
+        if panel:
+            # One dgemv per column on a contiguous buffer: identical
+            # bits to the single-RHS call, k columns per traversal.
+            pivf = np.asfortranarray(piv)
+            upd = np.empty((rows.size - w, piv.shape[1]), order="F")
+            for c in range(piv.shape[1]):
+                np.dot(l21, pivf[:, c], out=upd[:, c])
+            return upd
+        return l21 @ piv
+    return None
+
+
+def backward_front(factor: NumericFactor, s: int, y: np.ndarray) -> None:
+    """One supernode's backward-substitution step on the permuted RHS *y*.
+
+    Reads y at the supernode's own and ancestor rows (ancestor rows must
+    already hold final values) and writes only its own pivot rows — which
+    is why the threads backend can run independent subtrees concurrently
+    with no synchronization on *y* at all.
+    """
+    sym = factor.sym
+    rows = sym.sn_rows[s]
+    w = sym.supernode_width(s)
+    block = factor.blocks[s]
+    panel = y.ndim == 2
+    piv = y[rows[:w]].copy() if not panel else y[rows[:w]]
+    if rows.size > w:
+        l21t = block[w:, :].T
+        if panel:
+            xb = np.asfortranarray(y[rows[w:]])
+            upd = np.empty((w, piv.shape[1]), order="F")
+            for c in range(piv.shape[1]):
+                np.dot(l21t, xb[:, c], out=upd[:, c])
+            piv -= upd
+        else:
+            piv -= l21t @ y[rows[w:]]
+    if factor.method == "ldlt":
+        solve_unit_lower_transpose_outer_inplace(block[:w, :], piv)
+    else:
+        solve_lower_transpose_outer_inplace(block[:w, :], piv)
+    y[rows[:w]] = piv
+
+
 def forward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
     """In-place forward substitution ``y <- L^{-1} y`` in permuted order.
 
     *y* is a single vector ``(n,)`` or a panel ``(n, k)``.
     """
     sym = factor.sym
-    unit = factor.method == "ldlt"
-    panel = y.ndim == 2
     for s in range(sym.n_supernodes):
-        rows = sym.sn_rows[s]
-        w = sym.supernode_width(s)
-        block = factor.blocks[s]
-        piv = y[rows[:w]]
-        if unit:
-            solve_unit_lower_inplace(block[:w, :], piv)
-        else:
-            solve_lower_inplace(block[:w, :], piv)
-        y[rows[:w]] = piv
-        if rows.size > w:
-            l21 = block[w:, :]
-            if panel:
-                # One dgemv per column on a contiguous buffer: identical
-                # bits to the single-RHS call, k columns per traversal.
-                pivf = np.asfortranarray(piv)
-                upd = np.empty((rows.size - w, piv.shape[1]), order="F")
-                for c in range(piv.shape[1]):
-                    np.dot(l21, pivf[:, c], out=upd[:, c])
-                y[rows[w:]] -= upd
-            else:
-                y[rows[w:]] -= l21 @ piv
+        upd = forward_front(factor, s, y)
+        if upd is not None:
+            rows = sym.sn_rows[s]
+            w = sym.supernode_width(s)
+            y[rows[w:]] -= upd
 
 
 def backward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
@@ -125,26 +173,5 @@ def backward_sweep(factor: NumericFactor, y: np.ndarray) -> None:
 
     *y* is a single vector ``(n,)`` or a panel ``(n, k)``.
     """
-    sym = factor.sym
-    unit = factor.method == "ldlt"
-    panel = y.ndim == 2
-    for s in range(sym.n_supernodes - 1, -1, -1):
-        rows = sym.sn_rows[s]
-        w = sym.supernode_width(s)
-        block = factor.blocks[s]
-        piv = y[rows[:w]].copy() if not panel else y[rows[:w]]
-        if rows.size > w:
-            l21t = block[w:, :].T
-            if panel:
-                xb = np.asfortranarray(y[rows[w:]])
-                upd = np.empty((w, piv.shape[1]), order="F")
-                for c in range(piv.shape[1]):
-                    np.dot(l21t, xb[:, c], out=upd[:, c])
-                piv -= upd
-            else:
-                piv -= l21t @ y[rows[w:]]
-        if unit:
-            solve_unit_lower_transpose_outer_inplace(block[:w, :], piv)
-        else:
-            solve_lower_transpose_outer_inplace(block[:w, :], piv)
-        y[rows[:w]] = piv
+    for s in range(factor.sym.n_supernodes - 1, -1, -1):
+        backward_front(factor, s, y)

@@ -51,6 +51,7 @@ from repro.obs.profile import (
     render_top_fronts,
 )
 from repro.obs.spans import (
+    ExecTaskEvent,
     Span,
     SpanRecorder,
     current_recorder,
@@ -62,6 +63,7 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "ExecTaskEvent",
     "Span",
     "SpanRecorder",
     "span",

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "HOST_PID",
     "SIM_PID",
+    "EXEC_PID",
     "chrome_trace_events",
     "chrome_trace",
     "write_chrome_trace",
@@ -55,6 +56,8 @@ __all__ = [
 HOST_PID = 0
 #: trace-event pid of the simulated machine (tid = rank)
 SIM_PID = 1
+#: trace-event pid of the shared-memory execution backend (tid = worker)
+EXEC_PID = 2
 
 
 def _meta(name: str, pid: int, args: dict, tid: int = 0) -> dict:
@@ -98,6 +101,32 @@ def chrome_trace_events(
                     "pid": HOST_PID,
                     "tid": 0,
                     "args": dict(s.attrs),
+                }
+            )
+    if recorder is not None and recorder.exec_events:
+        # Real worker-thread concurrency from repro.exec: one row per
+        # worker, same wall-clock origin as the host phase spans, so task
+        # bars visibly overlap under the enclosing exec.* span.
+        events.append(_meta("process_name", EXEC_PID, {"name": "exec workers"}))
+        t0 = recorder.t0
+        if t0 is None:
+            t0 = min(e.start for e in recorder.exec_events)
+        workers = sorted({e.worker for e in recorder.exec_events})
+        for w in workers:
+            events.append(
+                _meta("thread_name", EXEC_PID, {"name": f"worker {w}"}, tid=w)
+            )
+        for e in recorder.exec_events:
+            events.append(
+                {
+                    "name": e.name,
+                    "cat": "exec",
+                    "ph": "X",
+                    "ts": (e.start - t0) * 1e6,
+                    "dur": e.duration * 1e6,
+                    "pid": EXEC_PID,
+                    "tid": e.worker,
+                    "args": {},
                 }
             )
     if sim_trace is not None and sim_trace.events:

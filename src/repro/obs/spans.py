@@ -31,6 +31,7 @@ from typing import Any, Iterator
 from repro.obs.profile import FrontProfile
 
 __all__ = [
+    "ExecTaskEvent",
     "Span",
     "SpanRecorder",
     "span",
@@ -42,6 +43,30 @@ __all__ = [
 ]
 
 _TRUTHY = frozenset({"1", "true", "on", "yes"})
+
+
+@dataclass(frozen=True)
+class ExecTaskEvent:
+    """One task executed by a :mod:`repro.exec` worker thread.
+
+    Unlike :class:`Span`, these are recorded from *concurrent* worker
+    threads, so they carry their own worker lane instead of riding the
+    recorder's (single-threaded) nesting stack. The Chrome exporter
+    renders them as one timeline row per worker — real concurrency next
+    to the host phases and the simulated rank timelines.
+    """
+
+    #: task label, e.g. ``"factor:s17"``
+    name: str
+    #: worker thread index within the pool (trace row)
+    worker: int
+    #: ``time.perf_counter`` seconds at task start / end
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
 
 
 @dataclass(frozen=True)
@@ -71,6 +96,9 @@ class SpanRecorder:
     def __init__(self) -> None:
         self.spans: list[Span] = []
         self.profile = FrontProfile()
+        #: per-worker task events from the shared-memory backend
+        #: (:mod:`repro.exec` appends; the Chrome exporter renders them)
+        self.exec_events: list[ExecTaskEvent] = []
         #: ``perf_counter`` value of the first span start (export origin)
         self.t0: float | None = None
         self._stack: list[_LiveSpan] = []
@@ -79,6 +107,7 @@ class SpanRecorder:
     def clear(self) -> None:
         self.spans.clear()
         self.profile = FrontProfile()
+        self.exec_events.clear()
         self.t0 = None
         self._stack.clear()
         self._next_id = 0

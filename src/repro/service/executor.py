@@ -11,7 +11,10 @@ and method):
    simulated parallel machine when a :class:`ParallelConfig` is set
    (reusing the cached structural :class:`FactorPlan`);
 3. **resilience** — a parallel-path failure *degrades* the batch to the
-   sequential engine (counted, not retried); sequential failures are
+   host engine (counted, not retried); a threads-backend *infrastructure*
+   failure (:class:`~repro.util.errors.ExecBackendError`) degrades to the
+   plain sequential backend — safe because the two are bitwise identical
+   — counted in ``service_backend_fallback_total``; host failures are
    retried with exponential backoff up to the configured limit; the
    per-job wall budget is checked between attempts (cooperative timeout).
 
@@ -42,7 +45,7 @@ from repro.service.jobs import (
 from repro.obs.spans import span
 from repro.service.metrics import ServiceMetrics
 from repro.sparse.ops import sym_matvec_lower_many
-from repro.util.errors import ReproError
+from repro.util.errors import ExecBackendError, ReproError
 from repro.util.timing import WallTimer
 
 
@@ -58,9 +61,14 @@ class ExecutorOptions:
     max_retries: int = 2
     #: base backoff in seconds; doubles per retry
     retry_backoff: float = 0.01
-    #: iterative refinement on the sequential solve path
+    #: iterative refinement on the host solve path
     refine: bool = False
     use_cache: bool = True
+    #: host execution backend: ``"seq"`` or ``"threads"`` (the shared-memory
+    #: pool of :mod:`repro.exec`; bitwise identical to ``"seq"``)
+    backend: str = "seq"
+    #: worker threads for ``backend="threads"`` (None = auto)
+    workers: int | None = None
 
 
 class Executor:
@@ -102,7 +110,12 @@ class Executor:
 
         budgets = [j.timeout for j in batch if j.timeout is not None]
         budget = min(budgets) if budgets else None
-        engine = "parallel" if self.options.parallel is not None else "sequential"
+        if self.options.parallel is not None:
+            engine = "parallel"
+        elif self.options.backend == "threads":
+            engine = "threads"
+        else:
+            engine = "sequential"
         attempts = 0
         degraded = False
         while True:
@@ -114,10 +127,23 @@ class Executor:
             except ReproError as exc:
                 if engine == "parallel":
                     # A failing parallel plan/driver will fail again:
-                    # degrade to the sequential engine instead of retrying.
-                    engine = "sequential"
+                    # degrade to the host engine instead of retrying.
+                    engine = (
+                        "threads"
+                        if self.options.backend == "threads"
+                        else "sequential"
+                    )
                     degraded = True
                     self.metrics.inc("degradations")
+                    continue
+                if engine == "threads" and isinstance(exc, ExecBackendError):
+                    # Pool infrastructure failed (bad worker config, a
+                    # cancelled pool, a stalled graph). The sequential
+                    # backend computes bitwise-identical answers, so fall
+                    # back rather than retrying the broken pool.
+                    engine = "sequential"
+                    degraded = True
+                    self.metrics.inc("service_backend_fallback_total")
                     continue
                 if attempts >= self.options.max_retries:
                     return self._failures(batch, FAILED, exc, attempts, degraded)
@@ -197,7 +223,7 @@ class Executor:
         if engine == "parallel":
             x = self._run_parallel(entry, method, b_block, timings)
         else:
-            x = self._run_sequential(entry, b_block, timings)
+            x = self._run_host(entry, b_block, timings, engine)
         lower = entry.solver.lower
         # One blocked residual matvec for the whole panel (bitwise identical
         # per column to the per-column check).
@@ -206,28 +232,47 @@ class Executor:
         residuals = np.max(np.abs(r), axis=0) / denom
         return x, residuals
 
-    def _run_sequential(
-        self, entry: AnalysisEntry, b_block: np.ndarray, timings: dict
+    def _run_host(
+        self,
+        entry: AnalysisEntry,
+        b_block: np.ndarray,
+        timings: dict,
+        engine: str = "sequential",
     ) -> np.ndarray:
+        """Factor + solve on the host: sequential or the threads backend
+        (bitwise identical, so the engine choice never changes answers)."""
         solver = entry.solver
-        with span("service.factor", engine="sequential"), WallTimer() as t:
-            solver.factor()
+        workers = self.options.workers
+        if engine == "threads":
+            backend = "threads"
+            from repro.exec import solve_many_threads
+
+            def solve_fn(factor, b):
+                return solve_many_threads(factor, b, workers=workers)
+        else:
+            backend = "seq"
+            solve_fn = mf_solve_many
+        with span("service.factor", engine=engine), WallTimer() as t:
+            solver.factor(backend=backend, workers=workers)
         timings["factor"] = timings.get("factor", 0.0) + t.elapsed
+        if solver.numeric.exec_stats is not None:
+            # Surface the pool's telemetry through the service registry.
+            solver.numeric.exec_stats.publish(self.metrics.registry)
         # Genuine blocked multi-RHS solve: one permute → sweep → unpermute
         # pass for the whole coalesced panel (and one blocked refinement
         # loop when enabled), not a per-column re-traversal.
         with span(
             "service.solve",
-            engine="sequential",
+            engine=engine,
             rhs=int(b_block.shape[1]),
             refine=self.options.refine,
         ), WallTimer() as t:
             if self.options.refine:
                 x = iterative_refinement_many(
-                    solver.numeric, solver.lower, b_block
+                    solver.numeric, solver.lower, b_block, solve_fn=solve_fn
                 ).x
             else:
-                x = mf_solve_many(solver.numeric, b_block)
+                x = solve_fn(solver.numeric, b_block)
         timings["solve"] = timings.get("solve", 0.0) + t.elapsed
         return x
 

@@ -97,8 +97,12 @@ class ServiceConfig:
     parallel: ParallelConfig | None = None
     max_retries: int = 2
     retry_backoff: float = 0.01
-    #: iterative refinement on the sequential solve path
+    #: iterative refinement on the host solve path
     refine: bool = False
+    #: host execution backend ("seq" or "threads", see repro.exec)
+    backend: str = "seq"
+    #: worker threads for backend="threads" (None = auto)
+    workers: int | None = None
 
     def executor_options(self) -> ExecutorOptions:
         return ExecutorOptions(
@@ -108,6 +112,8 @@ class ServiceConfig:
             retry_backoff=self.retry_backoff,
             refine=self.refine,
             use_cache=self.cache_enabled,
+            backend=self.backend,
+            workers=self.workers,
         )
 
 

@@ -66,6 +66,19 @@ class InvariantError(ReproError, RuntimeError):
     partition, or an unbalanced frontal update stack."""
 
 
+class ExecBackendError(ReproError, RuntimeError):
+    """The shared-memory execution backend (``repro.exec``) failed as
+    *infrastructure*: an invalid worker configuration, a cancelled run, or
+    a stalled task graph (dependency cycle).
+
+    Numeric failures inside tasks — a non-positive pivot, a shape error —
+    propagate as their own types, exactly like the sequential path. The
+    serving layer catches this (and any other :class:`ReproError` from the
+    threads engine) to degrade ``threads`` → ``sequential`` instead of
+    failing the job.
+    """
+
+
 class LintError(ReproError, ValueError):
     """Static analysis (``repro.check.lint``) could not process an input
     (unreadable file, syntax error in a linted source)."""

@@ -1,0 +1,429 @@
+"""Tests for repro.exec: the real shared-memory execution backend.
+
+The headline contract is the **bitwise oracle**: for any worker count,
+the threads backend produces byte-for-byte the factors and solutions of
+the sequential path. The rest covers the pool machinery itself —
+dependency scheduling, exception propagation (drains cleanly, no
+deadlock), cancellation, stall detection — and the task-graph builders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import SparseSolver
+from repro.exec import (
+    MAX_DEFAULT_WORKERS,
+    TaskGraph,
+    TaskPool,
+    backward_solve_task_graph,
+    default_workers,
+    factor_task_graph,
+    forward_contributions,
+    forward_solve_task_graph,
+    multifrontal_factor_threads,
+    solve_many_threads,
+    solve_threads,
+)
+from repro.gen import (
+    elasticity3d,
+    grid2d_anisotropic,
+    grid2d_laplacian,
+    grid3d_laplacian,
+    random_spd_sparse,
+    unstructured2d,
+)
+from repro.mf.numeric import multifrontal_factor
+from repro.mf.solve_phase import solve, solve_many
+from repro.util.errors import (
+    ExecBackendError,
+    NotPositiveDefiniteError,
+    ShapeError,
+)
+from repro.util.rng import make_rng
+
+pytestmark = pytest.mark.exec
+
+WORKER_COUNTS = [1, 2, 4, 8]
+
+#: SPD generator suite for identity checks (name -> lower triangle)
+SUITE = {
+    "grid2d": lambda: grid2d_laplacian(9),
+    "grid3d": lambda: grid3d_laplacian(5),
+    "aniso": lambda: grid2d_anisotropic(8),
+    "elast": lambda: elasticity3d(3),
+    "random": lambda: random_spd_sparse(160, avg_degree=6, seed=7),
+    "unstructured": lambda: unstructured2d(120, seed=11),
+}
+
+
+def _analyzed(lower, method="cholesky"):
+    solver = SparseSolver(lower, method=method)
+    solver.analyze()
+    return solver.sym
+
+
+def _assert_factors_identical(ref, got):
+    assert len(ref.blocks) == len(got.blocks)
+    for s, (a, b) in enumerate(zip(ref.blocks, got.blocks)):
+        assert a.tobytes() == b.tobytes(), f"block {s} differs"
+    if ref.diag is None:
+        assert got.diag is None
+    else:
+        assert ref.diag.tobytes() == got.diag.tobytes()
+    assert ref.perturbed_columns == got.perturbed_columns
+    assert ref.stats.flops == got.stats.flops
+    assert ref.stats.factor_entries == got.stats.factor_entries
+    assert ref.stats.front_orders == got.stats.front_orders
+
+
+# -- bitwise identity ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_factor_bitwise_identity(name, workers):
+    lower = SUITE[name]()
+    sym = _analyzed(lower)
+    ref = multifrontal_factor(sym)
+    got = multifrontal_factor_threads(sym, workers=workers)
+    _assert_factors_identical(ref, got)
+    assert got.exec_stats is not None
+    assert got.exec_stats.completed == sym.n_supernodes
+    assert got.exec_stats.workers == workers
+
+
+@pytest.mark.parametrize("name", sorted(SUITE))
+@pytest.mark.parametrize("workers", [1, 4])
+def test_solve_bitwise_identity(name, workers):
+    lower = SUITE[name]()
+    sym = _analyzed(lower)
+    factor = multifrontal_factor(sym)
+    rng = make_rng(42)
+    b1 = rng.standard_normal(sym.n)
+    bp = rng.standard_normal((sym.n, 7))
+    assert (
+        solve_threads(factor, b1, workers=workers).tobytes()
+        == solve(factor, b1).tobytes()
+    )
+    assert (
+        solve_many_threads(factor, bp, workers=workers).tobytes()
+        == solve_many(factor, bp).tobytes()
+    )
+    # One-column panel goes through the single-RHS dispatch, like solve_many.
+    assert (
+        solve_many_threads(factor, bp[:, :1], workers=workers).tobytes()
+        == solve_many(factor, bp[:, :1]).tobytes()
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_ldlt_bitwise_identity(workers):
+    lower = grid2d_laplacian(8)
+    sym = _analyzed(lower, method="ldlt")
+    ref = multifrontal_factor(sym, method="ldlt")
+    got = multifrontal_factor_threads(sym, method="ldlt", workers=workers)
+    _assert_factors_identical(ref, got)
+    b = make_rng(3).standard_normal((sym.n, 4))
+    assert (
+        solve_many_threads(got, b, workers=workers).tobytes()
+        == solve_many(ref, b).tobytes()
+    )
+
+
+def test_ldlt_perturbation_bitwise_identity():
+    # Near-singular LDLᵀ: perturbed pivot columns must match exactly too.
+    from repro.sparse.csc import CSCMatrix
+
+    lower = grid2d_laplacian(7)
+    data = lower.data.copy()
+    for j in range(lower.shape[0]):
+        k = lower.indptr[j]
+        if lower.indices[k] == j:
+            data[k] *= 1e-300  # crush one diagonal entry -> tiny pivot
+            break
+    tiny = CSCMatrix(lower.shape, lower.indptr, lower.indices, data)
+    sym = _analyzed(tiny, method="ldlt")
+    ref = multifrontal_factor(sym, method="ldlt", pivot_perturbation=1e-12)
+    got = multifrontal_factor_threads(
+        sym, method="ldlt", pivot_perturbation=1e-12, workers=4
+    )
+    assert ref.perturbed_columns, "fixture failed to trigger a perturbation"
+    _assert_factors_identical(ref, got)
+
+
+def test_repeated_runs_deterministic():
+    sym = _analyzed(grid3d_laplacian(5))
+    b = make_rng(0).standard_normal((sym.n, 3))
+    baseline_factor = multifrontal_factor_threads(sym, workers=4)
+    baseline_solve = solve_many_threads(baseline_factor, b, workers=4)
+    for _ in range(3):
+        f = multifrontal_factor_threads(sym, workers=4)
+        _assert_factors_identical(baseline_factor, f)
+        x = solve_many_threads(f, b, workers=4)
+        assert x.tobytes() == baseline_solve.tobytes()
+
+
+def test_solver_facade_backend():
+    lower = grid3d_laplacian(5)
+    s_seq = SparseSolver(lower)
+    s_thr = SparseSolver(lower)
+    s_seq.factor()
+    s_thr.factor(backend="threads", workers=4)
+    _assert_factors_identical(s_seq.numeric, s_thr.numeric)
+    b = make_rng(9).standard_normal((lower.shape[0], 5))
+    r_seq = s_seq.solve(b)
+    r_thr = s_thr.solve(b, backend="threads", workers=4)
+    assert r_seq.x.tobytes() == r_thr.x.tobytes()
+    assert r_seq.residual == r_thr.residual
+    assert r_seq.refinement_iterations == r_thr.refinement_iterations
+    with pytest.raises(ShapeError):
+        s_seq.factor(backend="gpu")
+    with pytest.raises(ShapeError):
+        s_seq.solve(b, backend="gpu")
+
+
+# -- pool machinery -----------------------------------------------------------
+
+
+def _chain_graph(n, label="chain"):
+    """n tasks in a straight dependency line 0 -> 1 -> ... -> n-1."""
+    dependents = [[t + 1] if t + 1 < n else [] for t in range(n)]
+    n_deps = np.asarray([0] + [1] * (n - 1), dtype=np.int64)
+    return TaskGraph(
+        n_tasks=n,
+        dependents=dependents,
+        n_deps=n_deps,
+        priority=np.zeros(n),
+        label=label,
+    )
+
+
+def test_pool_runs_all_tasks_in_dependency_order():
+    order = []
+    pool = TaskPool(4)
+    stats = pool.run(_chain_graph(20), lambda t: order.append(t))
+    assert order == list(range(20))
+    assert stats.completed == 20
+    assert stats.n_tasks == 20
+
+
+def test_pool_exception_propagates_and_drains():
+    ran = []
+
+    def boom(t):
+        ran.append(t)
+        if t == 3:
+            raise NotPositiveDefiniteError("pivot -1 at column 3")
+
+    pool = TaskPool(4)
+    with pytest.raises(NotPositiveDefiniteError, match="column 3"):
+        pool.run(_chain_graph(10), boom)
+    # Tasks after the failing one never ran; the pool returned (no deadlock).
+    assert max(ran) == 3
+    # The pool is NOT shut down by a task failure: a later run works.
+    out = []
+    pool.run(_chain_graph(4, label="retry"), lambda t: out.append(t))
+    assert out == [0, 1, 2, 3]
+
+
+def test_pool_cancel_from_task():
+    pool = TaskPool(2)
+    seen = []
+
+    def body(t):
+        seen.append(t)
+        if t == 2:
+            pool.cancel()
+
+    with pytest.raises(ExecBackendError, match="cancelled"):
+        pool.run(_chain_graph(50), body)
+    assert len(seen) < 50
+    # cancel() is a permanent shutdown: further runs are refused.
+    with pytest.raises(ExecBackendError, match="shut down"):
+        pool.run(_chain_graph(2), lambda t: None)
+    assert pool.cancelled
+
+
+def test_pool_stall_detection_on_cyclic_graph():
+    # 0 and 1 depend on each other: no task is ever ready.
+    graph = TaskGraph(
+        n_tasks=2,
+        dependents=[[1], [0]],
+        n_deps=np.asarray([1, 1], dtype=np.int64),
+        priority=np.zeros(2),
+        label="cycle",
+    )
+    pool = TaskPool(2)
+    with pytest.raises(ExecBackendError, match="stalled"):
+        pool.run(graph, lambda t: None)
+
+
+def test_pool_rejects_bad_worker_counts():
+    with pytest.raises(ExecBackendError):
+        TaskPool(0)
+    with pytest.raises(ExecBackendError):
+        TaskPool(-1)
+    with pytest.raises(ExecBackendError):
+        TaskPool(2.5)  # type: ignore[arg-type]
+
+
+def test_default_workers_bounded():
+    w = default_workers()
+    assert 1 <= w <= MAX_DEFAULT_WORKERS
+
+
+def test_factor_threads_validates_like_sequential():
+    sym = _analyzed(grid2d_laplacian(4))
+    with pytest.raises(ShapeError):
+        multifrontal_factor_threads(sym, method="qr")
+    with pytest.raises(ShapeError):
+        multifrontal_factor_threads(sym, pivot_perturbation=1e-10)
+
+
+def test_not_positive_definite_propagates_through_pool():
+    lower = grid2d_laplacian(6)
+    data = lower.data.copy()
+    # Flip every diagonal entry negative: guaranteed indefinite.
+    for j in range(lower.shape[0]):
+        k = lower.indptr[j]
+        if lower.indices[k] == j:
+            data[k] = -abs(data[k])
+    from repro.sparse.csc import CSCMatrix
+
+    bad = CSCMatrix(lower.shape, lower.indptr, lower.indices, data)
+    sym = _analyzed(bad)
+    with pytest.raises(NotPositiveDefiniteError):
+        multifrontal_factor_threads(sym, workers=4)
+
+
+# -- task graphs --------------------------------------------------------------
+
+
+def test_task_graphs_mirror_tree():
+    sym = _analyzed(grid2d_laplacian(7))
+    up = factor_task_graph(sym)
+    fwd = forward_solve_task_graph(sym)
+    bwd = backward_solve_task_graph(sym)
+    assert up.n_tasks == fwd.n_tasks == bwd.n_tasks == sym.n_supernodes
+    for s in range(sym.n_supernodes):
+        p = int(sym.sn_parent[s])
+        if p >= 0:
+            assert p in up.dependents[s]
+            assert p in fwd.dependents[s]
+            assert s in bwd.dependents[p]
+    # Up graphs: roots of the tree have no deps in bwd; leaves none in up.
+    assert sum(1 for t in up.roots()) >= 1
+    assert set(bwd.roots()) == {
+        s for s in range(sym.n_supernodes) if sym.sn_parent[s] < 0
+    }
+
+
+def test_forward_contributions_cover_update_rows():
+    sym = _analyzed(grid3d_laplacian(4))
+    plan = forward_contributions(sym)
+    sn_start = sym.partition.sn_start
+    for s in range(sym.n_supernodes):
+        w = sym.supernode_width(s)
+        upd_rows = sym.sn_rows[s][w:]
+        covered = np.concatenate(
+            [upd_rows[r.lo: r.hi] for r in plan.outgoing[s]]
+        ) if plan.outgoing[s] else np.empty(0, dtype=np.int64)
+        assert np.array_equal(covered, upd_rows)
+        for r in plan.outgoing[s]:
+            # Every row of a run is owned by the run's target supernode.
+            for row in upd_rows[r.lo: r.hi]:
+                t = int(np.searchsorted(sn_start, row, side="right")) - 1
+                assert t == r.target
+    # Incoming lists are ascending by source (the sequential apply order).
+    for t in range(sym.n_supernodes):
+        srcs = [src for src, _, _ in plan.incoming[t]]
+        assert srcs == sorted(srcs)
+
+
+def test_task_graph_validates_shapes():
+    with pytest.raises(ExecBackendError):
+        TaskGraph(
+            n_tasks=3,
+            dependents=[[]],
+            n_deps=np.zeros(3, dtype=np.int64),
+            priority=np.zeros(3),
+        )
+
+
+# -- observability ------------------------------------------------------------
+
+
+def test_exec_events_recorded_and_exported():
+    from repro.obs import chrome_trace, recording, validate_chrome_trace
+    from repro.obs.export import EXEC_PID
+
+    lower = grid3d_laplacian(4)
+    solver = SparseSolver(lower)
+    with recording() as rec:
+        solver.factor(backend="threads", workers=2)
+        solver.solve(
+            np.ones(lower.shape[0]), refine=False, backend="threads", workers=2
+        )
+    assert rec.exec_events, "worker task events missing"
+    kinds = {e.name.split(":")[0] for e in rec.exec_events}
+    assert kinds >= {"factor", "fwd", "bwd"}
+    assert all(e.end >= e.start for e in rec.exec_events)
+    assert {e.worker for e in rec.exec_events} <= {0, 1}
+    obj = chrome_trace(rec)
+    validate_chrome_trace(obj)
+    rows = [
+        e
+        for e in obj["traceEvents"]
+        if e["pid"] == EXEC_PID and e["ph"] == "X"
+    ]
+    assert len(rows) == len(rec.exec_events)
+
+
+def test_pool_stats_publish():
+    from repro.obs.metrics import MetricsRegistry
+
+    sym = _analyzed(grid2d_laplacian(6))
+    registry = MetricsRegistry()
+    multifrontal_factor_threads(sym, workers=2, registry=registry)
+    assert registry.counter_value("exec_tasks") == sym.n_supernodes
+    assert registry.gauge_values()["exec_workers"] == 2.0
+    assert "exec_queue_depth_peak" in registry.gauge_values()
+
+
+# -- service degradation ladder ----------------------------------------------
+
+
+def test_service_threads_backend_matches_seq():
+    from repro.service import ServiceConfig, SolverService
+
+    lower = grid2d_laplacian(8)
+    b = make_rng(5).standard_normal(lower.shape[0])
+    out = {}
+    for backend in ("seq", "threads"):
+        svc = SolverService(ServiceConfig(backend=backend, workers=3))
+        jid = svc.submit(lower, b)
+        svc.drain()
+        res = svc.results[jid]
+        assert res.status == "completed"
+        out[backend] = res
+    assert out["seq"].x.tobytes() == out["threads"].x.tobytes()
+
+
+def test_service_falls_back_to_sequential_on_exec_error():
+    from repro.service import ServiceConfig, SolverService
+
+    lower = grid2d_laplacian(8)
+    b = make_rng(5).standard_normal(lower.shape[0])
+    # workers=0 makes the pool constructor raise ExecBackendError, so the
+    # executor's ladder must degrade threads -> sequential and still answer.
+    svc = SolverService(ServiceConfig(backend="threads", workers=0))
+    jid = svc.submit(lower, b)
+    svc.drain()
+    res = svc.results[jid]
+    assert res.status == "completed"
+    assert res.degraded
+    assert svc.metrics.counter("service_backend_fallback_total") == 1
+    ref = SolverService(ServiceConfig())
+    jid2 = ref.submit(lower, b)
+    ref.drain()
+    assert ref.results[jid2].x.tobytes() == res.x.tobytes()
