@@ -50,12 +50,14 @@ _NOQA_RE = re.compile(
 KERNEL_PACKAGES = ("repro.mf", "repro.sparse", "repro.symbolic")
 
 #: dtype spellings allowed in kernel code: the canonical int64/float64
-#: pair, booleans, and float (always float64 in numpy) — notably absent:
-#: platform-dependent ``int`` and every narrow width.
+#: pair, float32 (the mixed-precision working dtype), booleans, and float
+#: (always float64 in numpy) — notably absent: platform-dependent ``int``
+#: and every width below float32.
 ALLOWED_DTYPES = frozenset(
     {
         "int64",
         "float64",
+        "float32",
         "bool",
         "bool_",
         "float",
@@ -68,7 +70,20 @@ ALLOWED_DTYPES = frozenset(
 
 #: lower-case spellings and struct codes equivalent to the allowed dtypes
 _ALLOWED_CANON = frozenset(
-    {"int64", "float64", "bool", "bool_", "float", "intp", "complex128", "i8", "f8", "?"}
+    {
+        "int64",
+        "float64",
+        "float32",
+        "bool",
+        "bool_",
+        "float",
+        "intp",
+        "complex128",
+        "i8",
+        "f8",
+        "f4",
+        "?",
+    }
 )
 
 
@@ -265,7 +280,10 @@ def _dtype_name(expr: ast.expr) -> str | None:
     """Best-effort name of an explicit dtype argument; None = not literal
     enough to judge (left alone)."""
     if isinstance(expr, ast.Name):
-        return expr.id
+        # A variable named `dtype`/`wdtype`/… carries a dtype chosen (and
+        # validated) elsewhere — e.g. `work_dtype(precision)` — the same
+        # dynamic-passthrough situation as the `x.dtype` attribute below.
+        return None if expr.id.lower().endswith("dtype") else expr.id
     if isinstance(expr, ast.Attribute):
         # `x.dtype` is a dynamic passthrough of an existing array's dtype,
         # not a literal choice — leave it alone.
@@ -278,10 +296,12 @@ def _dtype_name(expr: ast.expr) -> str | None:
 class KernelDtypeRule(LintRule):
     """RP003: kernel packages use the canonical dtypes.
 
-    Index arrays are int64 (``repro.util.validation.INDEX_DTYPE``), values
-    are float64 (``VALUE_DTYPE``). Narrow or platform-dependent dtypes
-    (``int32``, ``float32``, plain ``int``, ``"i4"``…) change answer bits
-    and overflow on paper-scale problems.
+    Index arrays are int64 (``repro.util.validation.INDEX_DTYPE``); values
+    are float64 (``VALUE_DTYPE``) or float32, the two working precisions
+    of the mixed-precision regime (``repro.util.validation.WORK_DTYPES``).
+    Anything narrower or platform-dependent (``int32``, ``float16``,
+    plain ``int``, ``"i4"``…) changes answer bits and overflows on
+    paper-scale problems.
     """
 
     id = "RP003"
@@ -309,8 +329,9 @@ class KernelDtypeRule(LintRule):
                 yield self.finding(
                     ctx,
                     kw.value,
-                    f"dtype={name!r} in a kernel — use INDEX_DTYPE (int64) "
-                    "or VALUE_DTYPE (float64) from repro.util.validation",
+                    f"dtype={name!r} in a kernel — use INDEX_DTYPE (int64), "
+                    "VALUE_DTYPE (float64), or a WORK_DTYPES precision "
+                    "from repro.util.validation",
                 )
 
 

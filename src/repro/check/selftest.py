@@ -69,6 +69,33 @@ _LINT_CASES: tuple[tuple[str, str, str, str, int], ...] = (
         "def f():\n    return np.zeros(3, dtype=np.int32)\n",
         1,
     ),
+    # The two-precision regime: float16 stays banned in kernels…
+    (
+        "RP003",
+        "repro.mf.fixture",
+        "<selftest>",
+        "import numpy as np\n\n"
+        "def f():\n    return np.zeros(3, dtype=np.float16)\n",
+        1,
+    ),
+    # …while float32 (the mixed-precision working dtype) is allowed, both
+    # spelled literally and threaded through a `*dtype` variable.
+    (
+        "RP003",
+        "repro.mf.fixture",
+        "<selftest>",
+        "import numpy as np\n\n"
+        "def f():\n    return np.zeros(3, dtype=np.float32)\n",
+        0,
+    ),
+    (
+        "RP003",
+        "repro.mf.fixture",
+        "<selftest>",
+        "import numpy as np\n\n"
+        "def f(wdtype):\n    return np.zeros(3, dtype=wdtype)\n",
+        0,
+    ),
     (
         "RP004",
         "repro.mf.fixture",
@@ -132,9 +159,10 @@ def _lint_results() -> list[SelfTestResult]:
     for rule_id, module, path, source, expected in _LINT_CASES:
         found = lint.lint_source(source, path=path, module=module)
         hits = [f for f in found if f.rule == rule_id]
+        verb = "catches seeded violation" if expected else "accepts allowed pattern"
         results.append(
             SelfTestResult(
-                name=f"lint {rule_id} catches seeded violation",
+                name=f"lint {rule_id} {verb}",
                 passed=len(hits) == expected,
                 detail=f"expected {expected} {rule_id}, got {len(hits)} "
                 f"({[f.rule for f in found]})",

@@ -139,14 +139,19 @@ def cmd_solve(args) -> int:
         )
         return 0 if res.residual < 1e-8 else 1
     solver = SparseSolver(a, method=args.method, ordering=args.ordering)
-    solver.factor(backend=args.backend, workers=args.workers)
+    solver.factor(
+        backend=args.backend, workers=args.workers, precision=args.precision
+    )
     res = solver.solve(
         b,
         refine=not args.no_refine,
         backend=args.backend,
         workers=args.workers,
     )
-    print(f"n={n}  residual={res.residual:.3e}  refine_iters={res.refinement_iterations}")
+    print(
+        f"n={n}  residual={res.residual:.3e}  "
+        f"refine_iters={res.refinement_iterations}  precision={res.precision}"
+    )
     if args.condest:
         print(f"condition estimate (1-norm): {solver.condition_estimate():.3e}")
     return 0 if res.residual < 1e-8 else 1
@@ -256,6 +261,7 @@ def cmd_serve_sim(args) -> int:
             parallel=parallel,
             backend=args.backend,
             workers=args.workers,
+            precision=args.precision,
         )
     )
     if not args.mesh and not args.matrix:
@@ -468,6 +474,14 @@ def _add_backend(p: argparse.ArgumentParser) -> None:
         default=None,
         metavar="N",
         help="worker threads for --backend threads (default: auto)",
+    )
+    p.add_argument(
+        "--precision",
+        default="fp64",
+        choices=["fp64", "fp32"],
+        help="working precision of the numeric factor; fp32 halves factor "
+        "memory and recovers fp64 accuracy via iterative refinement "
+        "(automatic fp64 re-factor when refinement stalls)",
     )
 
 

@@ -50,7 +50,7 @@ from repro.util.errors import PatternMismatchError, ReproError, ShapeError
 #: identical results either way — the sequential path is the oracle)
 EXEC_BACKENDS = ("seq", "threads")
 from repro.util.timing import WallTimer
-from repro.util.validation import as_float_array
+from repro.util.validation import as_float_array, work_dtype
 
 
 def as_symmetric_lower(a: CSCMatrix) -> CSCMatrix:
@@ -102,10 +102,14 @@ class SolveResult:
     """Solution plus accuracy diagnostics."""
 
     x: np.ndarray
-    #: relative max-norm residual of the returned solution
+    #: normwise backward error of the returned solution (worst column)
     residual: float
     #: refinement iterations performed (0 = plain direct solve)
     refinement_iterations: int
+    #: working precision of the factor that produced ``x`` — ``"fp64"``
+    #: after an automatic fp32→fp64 fallback, even if ``factor()`` was
+    #: called with ``precision="fp32"``
+    precision: str = "fp64"
 
 
 @dataclass(frozen=True)
@@ -211,7 +215,10 @@ class SparseSolver:
         return self._analyze_info
 
     def factor(
-        self, backend: str = "seq", workers: int | None = None
+        self,
+        backend: str = "seq",
+        workers: int | None = None,
+        precision: str = "fp64",
     ) -> NumericFactor:
         """Numeric factorization on the host.
 
@@ -220,19 +227,33 @@ class SparseSolver:
         a :mod:`repro.exec` worker pool (*workers* threads, default
         :func:`repro.exec.pool.default_workers`) and returns a **bitwise
         identical** factor for any worker count.
+
+        ``precision="fp32"`` factors in single precision — half the factor
+        memory and bandwidth. :meth:`solve` recovers fp64 accuracy through
+        iterative refinement and automatically re-factors in fp64 when
+        refinement cannot (ill-conditioned systems).
         """
         if self.sym is None:
             self.analyze()
-        with span("solver.factor", method=self.method, backend=backend):
-            self.numeric = self._factor_backend(backend, workers)
+        work_dtype(precision)  # validate early, before any work
+        with span(
+            "solver.factor",
+            method=self.method,
+            backend=backend,
+            precision=precision,
+        ):
+            self.numeric = self._factor_backend(backend, workers, precision)
         return self.numeric
 
-    def _factor_backend(self, backend: str, workers: int | None) -> NumericFactor:
+    def _factor_backend(
+        self, backend: str, workers: int | None, precision: str = "fp64"
+    ) -> NumericFactor:
         if backend == "seq":
             return multifrontal_factor(
                 self.sym,
                 method=self.method,
                 pivot_perturbation=self.pivot_perturbation,
+                precision=precision,
             )
         if backend == "threads":
             from repro.exec import multifrontal_factor_threads
@@ -242,6 +263,7 @@ class SparseSolver:
                 method=self.method,
                 pivot_perturbation=self.pivot_perturbation,
                 workers=workers,
+                precision=precision,
             )
         raise ShapeError(
             f"unknown execution backend {backend!r}; expected one of "
@@ -291,16 +313,41 @@ class SparseSolver:
         b = as_float_array(b, "b")
         solve_fn = self._solve_backend(backend, workers)
         n_rhs = 1 if b.ndim == 1 else int(b.shape[1])
-        with span("solver.solve", refine=refine, rhs=n_rhs, backend=backend):
+        with span(
+            "solver.solve",
+            refine=refine,
+            rhs=n_rhs,
+            backend=backend,
+            precision=self.numeric.precision,
+        ):
             if refine:
                 res = iterative_refinement_many(
                     self.numeric, self.lower, b, tol=tol, solve_fn=solve_fn
                 )
+                if self.numeric.precision != "fp64" and not bool(
+                    np.all(res.converged)
+                ):
+                    # Reduced-precision refinement stalled or diverged on at
+                    # least one column: re-factor in fp64 (same values, same
+                    # analysis) and refine against the robust factor — the
+                    # last rung of the precision degradation ladder.
+                    with span(
+                        "solver.precision_fallback",
+                        method=self.method,
+                        backend=backend,
+                    ):
+                        self.numeric = self._factor_backend(
+                            backend, workers, "fp64"
+                        )
+                    res = iterative_refinement_many(
+                        self.numeric, self.lower, b, tol=tol, solve_fn=solve_fn
+                    )
                 x = res.x[:, 0] if b.ndim == 1 else res.x
                 return SolveResult(
                     x=x,
                     residual=float(np.max(res.residuals)),
                     refinement_iterations=int(np.max(res.iterations)),
+                    precision=self.numeric.precision,
                 )
             x = solve_fn(self.numeric, b)
             b2 = b[:, None] if b.ndim == 1 else b
@@ -311,6 +358,7 @@ class SparseSolver:
                 x=x,
                 residual=float(np.max(np.max(np.abs(r), axis=0) / denom)),
                 refinement_iterations=0,
+                precision=self.numeric.precision,
             )
 
     # -- simulated parallel execution ---------------------------------------
@@ -412,6 +460,7 @@ class SparseSolver:
         new_a: CSCMatrix,
         backend: str = "seq",
         workers: int | None = None,
+        precision: str | None = None,
     ) -> NumericFactor:
         """Numeric re-factorization with new values on the *same* pattern.
 
@@ -420,11 +469,20 @@ class SparseSolver:
         reuses the symbolic factorization, only the numeric phase reruns.
         Raises :class:`~repro.util.errors.PatternMismatchError` when *new_a*
         has a different structure. *backend* / *workers* as in
-        :meth:`factor`.
+        :meth:`factor`. *precision* ``None`` keeps the previous factor's
+        working precision (fp64 when nothing was factored yet).
         """
+        if precision is None:
+            precision = "fp64" if self.numeric is None else self.numeric.precision
+        work_dtype(precision)
         self.update_values(new_a)
-        with span("solver.refactor", method=self.method, backend=backend):
-            self.numeric = self._factor_backend(backend, workers)
+        with span(
+            "solver.refactor",
+            method=self.method,
+            backend=backend,
+            precision=precision,
+        ):
+            self.numeric = self._factor_backend(backend, workers, precision)
         return self.numeric
 
     def condition_estimate(self, max_iter: int = 5) -> float:

@@ -30,7 +30,10 @@ def _cholesky_unblocked(a: np.ndarray, col_offset: int = 0) -> None:
                 f"non-positive pivot {d:.6g} at column {col_offset + j}",
                 column=col_offset + j,
             )
-        d = math.sqrt(d)
+        # Round the pivot to the working dtype before using it: the stored
+        # L[j,j] and the divisor below must be the same number, or fp32
+        # factors would be inconsistent with their own diagonal.
+        d = a.dtype.type(math.sqrt(d))
         a[j, j] = d
         if j + 1 < n:
             a[j + 1:, j] /= d
@@ -84,9 +87,32 @@ def _trsm_right_lower_transpose(l: np.ndarray, b: np.ndarray) -> None:
             b[:, j + 1:] -= np.outer(b[:, j], l[j + 1:, j])
 
 
+#: dtypes the in-place kernels operate in: the canonical fp64 and the
+#: reduced fp32 working precision of mixed-precision fronts
+WORKING_DTYPES = (np.dtype(np.float64), np.dtype(np.float32))
+
+
 def _check_square(a: np.ndarray) -> int:
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
         raise ShapeError(f"expected a square 2-D array; got shape {a.shape}")
-    if a.dtype != np.float64:
-        raise ShapeError("in-place kernels require float64 input")
+    if a.dtype not in WORKING_DTYPES:
+        raise ShapeError(
+            "in-place kernels require a float64 or float32 working array; "
+            f"got dtype {a.dtype}"
+        )
     return a.shape[0]
+
+
+def _check_consistent(work: np.ndarray, *others: np.ndarray) -> None:
+    """All operands of an in-place kernel must share the working dtype.
+
+    Mixed fp32/fp64 operands would silently upcast intermediate products
+    and break both the memory win and the bitwise contracts, so they raise
+    instead.
+    """
+    for o in others:
+        if o.dtype != work.dtype:
+            raise ShapeError(
+                "in-place kernel operands must share one working dtype; "
+                f"got {work.dtype} and {o.dtype}"
+            )

@@ -48,7 +48,7 @@ def ldlt_in_place(
         tol = PIVOT_TOL * max(scale, 1.0)
     else:
         tol = float(perturb)
-    d = np.empty(n)
+    d = np.empty(n, dtype=a.dtype)
     for j in range(n):
         pivot = a[j, j]
         if not math.isfinite(pivot) or abs(pivot) <= tol:
@@ -57,7 +57,9 @@ def ldlt_in_place(
                     f"zero pivot {pivot:.6g} at column {j}", column=j
                 )
             sign = 1.0 if pivot >= 0 else -1.0
-            pivot = sign * tol
+            # Rounded to the working dtype so the stored pivot, the returned
+            # D entry, and the divisor below are the same number.
+            pivot = a.dtype.type(sign * tol)
             a[j, j] = pivot
             if perturbed is not None:
                 perturbed.append(col_offset + j)

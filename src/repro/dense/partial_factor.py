@@ -62,7 +62,7 @@ def partial_ldlt(
     if not (0 <= k <= m):
         raise ShapeError(f"pivot count {k} out of range for front of order {m}")
     if k == 0:
-        return np.empty(0)
+        return np.empty(0, dtype=front.dtype)
     d = ldlt_in_place(
         front[:k, :k], perturb=perturb, col_offset=col_offset, perturbed=perturbed
     )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dense.chol import _check_consistent
 from repro.util.errors import ShapeError
 
 
@@ -21,6 +22,7 @@ def syrk_lower_update(c: np.ndarray, a: np.ndarray) -> None:
         raise ShapeError(
             f"A rows {a.shape} incompatible with C order {c.shape[0]}"
         )
+    _check_consistent(c, a)
     c -= a @ a.T
 
 
@@ -28,4 +30,5 @@ def syrk_lower_update_scaled(c: np.ndarray, a: np.ndarray, d: np.ndarray) -> Non
     """In-place ``C -= A @ diag(d) @ A.T`` (the LDLᵀ form of the update)."""
     if d.ndim != 1 or d.size != a.shape[1]:
         raise ShapeError("d must be 1-D with length = A columns")
+    _check_consistent(c, a, d)
     c -= (a * d[None, :]) @ a.T

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.dense.chol import _check_consistent
 from repro.util.errors import ShapeError
 
 
@@ -18,6 +19,7 @@ def _check(l: np.ndarray, b: np.ndarray) -> int:
         raise ShapeError(
             f"rhs leading dimension {b.shape[0]} != factor order {l.shape[0]}"
         )
+    _check_consistent(l, b)
     return l.shape[0]
 
 

@@ -43,6 +43,7 @@ from repro.mf.numeric import NumericFactor, factor_front
 from repro.obs.profile import active_profile
 from repro.obs.spans import span
 from repro.util.errors import InvariantError, ShapeError
+from repro.util.validation import work_dtype
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -57,14 +58,15 @@ def multifrontal_factor_threads(
     pivot_perturbation: float | None = None,
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
+    precision: str = "fp64",
 ) -> NumericFactor:
     """Numeric factorization of *sym* on a pool of worker threads.
 
-    Accepts the same *method* / *pivot_perturbation* contract as
-    :func:`repro.mf.numeric.multifrontal_factor` and returns a bitwise
-    identical factor (see the module docstring). *workers* defaults to
-    :func:`repro.exec.pool.default_workers`; *registry* receives the
-    pool's queue/latency telemetry when provided.
+    Accepts the same *method* / *pivot_perturbation* / *precision*
+    contract as :func:`repro.mf.numeric.multifrontal_factor` and returns
+    a bitwise identical factor (see the module docstring). *workers*
+    defaults to :func:`repro.exec.pool.default_workers`; *registry*
+    receives the pool's queue/latency telemetry when provided.
     """
     if method not in ("cholesky", "ldlt"):
         raise ShapeError(f"unknown factorization method {method!r}")
@@ -78,9 +80,10 @@ def multifrontal_factor_threads(
         diag_scale = float(np.max(np.abs(a.diagonal()), initial=0.0))
         perturb_abs = pivot_perturbation * max(diag_scale, 1.0)
 
+    wdtype = work_dtype(precision)
     nsn = sym.n_supernodes
     blocks: list[np.ndarray] = [None] * nsn  # type: ignore[list-item]
-    diag = np.empty(sym.n) if method == "ldlt" else None
+    diag = np.empty(sym.n, dtype=wdtype) if method == "ldlt" else None
     #: per-supernode update slots: written once by the owning task,
     #: consumed (and cleared) once by the parent's task
     updates: list[tuple[np.ndarray, np.ndarray] | None] = [None] * nsn
@@ -109,7 +112,8 @@ def multifrontal_factor_threads(
             freed += u[0].size
             kids.append(u)
         block, d, update, fflops = factor_front(
-            sym, s, method, perturb_abs, kids, per_perturbed[s], prof
+            sym, s, method, perturb_abs, kids, per_perturbed[s], prof,
+            dtype=wdtype,
         )
         blocks[s] = block
         if d is not None:
@@ -125,7 +129,12 @@ def multifrontal_factor_threads(
     graph = factor_task_graph(sym)
     pool = TaskPool(workers, name="factor")
     with span(
-        "exec.factor", method=method, n=sym.n, supernodes=nsn, workers=workers
+        "exec.factor",
+        method=method,
+        n=sym.n,
+        supernodes=nsn,
+        workers=workers,
+        precision=precision,
     ) as sp:
         pool_stats: PoolStats = pool.run(graph, run_task, registry=registry)
         sp.set(
@@ -161,4 +170,5 @@ def multifrontal_factor_threads(
         stats=stats,
         perturbed_columns=tuple(perturbed),
         exec_stats=pool_stats,
+        precision=precision,
     )

@@ -43,7 +43,7 @@ from repro.mf.solve_phase import backward_front, forward_front
 from repro.obs.spans import span
 from repro.sparse.permute import permute_vector, unpermute_vector
 from repro.util.errors import ShapeError
-from repro.util.validation import as_float_array
+from repro.util.validation import VALUE_DTYPE, as_float_array
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
@@ -105,9 +105,16 @@ def _solve_permuted(
     rhs = 1 if b.ndim == 1 else int(b.shape[1])
     pool = TaskPool(workers, name="solve")
     with span(
-        "exec.solve", n=factor.n, rhs=rhs, method=factor.method, workers=workers
+        "exec.solve",
+        n=factor.n,
+        rhs=rhs,
+        method=factor.method,
+        workers=workers,
+        precision=factor.precision,
     ):
-        y = permute_vector(b, sym.perm)
+        # Same dtype discipline as the sequential solve phase: sweep in
+        # the factor's working dtype, widen the result back to fp64.
+        y = permute_vector(b, sym.perm).astype(factor.dtype, copy=False)
         _forward_threads(factor, y, pool, registry)
         if factor.method == "ldlt":
             if y.ndim == 1:
@@ -115,7 +122,7 @@ def _solve_permuted(
             else:
                 y /= factor.diag[:, None]
         _backward_threads(factor, y, pool, registry)
-        return unpermute_vector(y, sym.perm)
+        return unpermute_vector(y.astype(VALUE_DTYPE, copy=False), sym.perm)
 
 
 def _forward_threads(

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.sparse.csc import CSCMatrix
 from repro.util.errors import ShapeError
+from repro.util.validation import VALUE_DTYPE
 
 
 def front_local_indices(front_rows: np.ndarray, global_rows: np.ndarray) -> np.ndarray:
@@ -39,6 +40,7 @@ def assemble_front(
     rows: np.ndarray,
     first_col: int,
     width: int,
+    dtype: np.dtype = VALUE_DTYPE,
 ) -> np.ndarray:
     """Allocate and fill the front of a supernode from the input matrix.
 
@@ -54,12 +56,15 @@ def assemble_front(
         Global index of the supernode's first column.
     width
         Number of pivot columns.
+    dtype
+        Working dtype of the front (fp32 for mixed-precision fronts; the
+        always-fp64 input entries are rounded once, here, at assembly).
 
     Returns the m×m front with A's entries scattered into the leading
     *width* columns of its lower triangle and zeros elsewhere.
     """
     m = rows.size
-    front = np.zeros((m, m))
+    front = np.zeros((m, m), dtype=dtype)
     for k in range(width):
         j = first_col + k
         a_rows, a_vals = permuted_lower.col(j)

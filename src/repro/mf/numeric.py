@@ -21,7 +21,11 @@ from repro.obs.profile import active_profile
 from repro.obs.spans import span
 from repro.symbolic.analyze import SymbolicFactor, dense_partial_factor_flops
 from repro.util.errors import InvariantError, ShapeError
-from repro.util.validation import runtime_checks_enabled
+from repro.util.validation import (
+    VALUE_DTYPE,
+    runtime_checks_enabled,
+    work_dtype,
+)
 
 
 @dataclass
@@ -43,10 +47,18 @@ class NumericFactor:
     #: pool telemetry (:class:`repro.exec.pool.PoolStats`) when this factor
     #: was produced by the threads backend; None for the sequential driver
     exec_stats: object | None = None
+    #: working precision the fronts were factored in (``"fp64"``/``"fp32"``);
+    #: fp32 factors need iterative refinement to deliver fp64 solutions
+    precision: str = "fp64"
 
     @property
     def n(self) -> int:
         return self.sym.n
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Working dtype of the stored factor panels."""
+        return work_dtype(self.precision)
 
     def to_dense_l(self) -> np.ndarray:
         """Materialize L as a dense lower-triangular matrix (tests and
@@ -75,6 +87,7 @@ def factor_front(
     child_updates,
     perturbed: list[int],
     prof,
+    dtype: np.dtype = VALUE_DTYPE,
 ) -> tuple[np.ndarray, np.ndarray | None, tuple[np.ndarray, np.ndarray] | None, int]:
     """Assemble, extend-add, and partially factor the front of supernode *s*.
 
@@ -94,6 +107,11 @@ def factor_front(
         Sink list for statically perturbed LDLᵀ pivot columns.
     prof
         The active :class:`~repro.obs.profile.FrontProfile` or None.
+    dtype
+        Working dtype of the front (fp32 for mixed-precision fronts).
+        Input entries are rounded once at assembly; every subsequent
+        operation — extend-add, factorization, Schur update — runs in
+        this dtype.
 
     Returns ``(block, d, update, front_flops)``: the m×w factor panel
     copy, the LDLᵀ pivots (None for Cholesky), the Schur update as
@@ -104,7 +122,7 @@ def factor_front(
     rows = sym.sn_rows[s]
     w = sym.supernode_width(s)
     c0 = int(sym.partition.sn_start[s])
-    front = assemble_front(a, rows, c0, w)
+    front = assemble_front(a, rows, c0, w, dtype=dtype)
     for upd, upd_rows in child_updates:
         extend_add(front, rows, upd, upd_rows)
     m = rows.size
@@ -129,6 +147,7 @@ def multifrontal_factor(
     method: str = "cholesky",
     pivot_perturbation: float | None = None,
     memory_limit_entries: int | None = None,
+    precision: str = "fp64",
 ) -> NumericFactor:
     """Numeric factorization of the matrix held in *sym*.
 
@@ -148,6 +167,11 @@ def multifrontal_factor(
         in ``stats.spill_entries_written/read``, the classic out-of-core
         multifrontal accounting. Raises :class:`ShapeError` when a single
         front alone exceeds the cap (no schedule can fit).
+    precision
+        ``"fp64"`` (default) or ``"fp32"``. fp32 halves factor storage and
+        bandwidth; pair it with fp64 iterative refinement
+        (:func:`repro.mf.refine.iterative_refinement`) to recover
+        fp64-level accuracy on well-conditioned systems.
     """
     if method not in ("cholesky", "ldlt"):
         raise ShapeError(f"unknown factorization method {method!r}")
@@ -158,9 +182,10 @@ def multifrontal_factor(
     if pivot_perturbation is not None:
         diag_scale = float(np.max(np.abs(a.diagonal()), initial=0.0))
         perturb_abs = pivot_perturbation * max(diag_scale, 1.0)
+    wdtype = work_dtype(precision)
     nsn = sym.n_supernodes
     blocks: list[np.ndarray] = [None] * nsn  # type: ignore[list-item]
-    diag = np.empty(sym.n) if method == "ldlt" else None
+    diag = np.empty(sym.n, dtype=wdtype) if method == "ldlt" else None
     stats = FactorStats()
     perturbed: list[int] = []
 
@@ -209,7 +234,9 @@ def multifrontal_factor(
     # disabled path free of timing calls — see lint rule RP007).
     prof = active_profile()
 
-    with span("mf.factor", method=method, n=sym.n, supernodes=nsn):
+    with span(
+        "mf.factor", method=method, n=sym.n, supernodes=nsn, precision=precision
+    ):
         for s in range(nsn):
             rows = sym.sn_rows[s]
             w = sym.supernode_width(s)
@@ -217,7 +244,8 @@ def multifrontal_factor(
             m = rows.size
             enforce_memory_cap(m * m)
             block, d, update, front_flops = factor_front(
-                sym, s, method, perturb_abs, pop_child_updates(s), perturbed, prof
+                sym, s, method, perturb_abs, pop_child_updates(s), perturbed, prof,
+                dtype=wdtype,
             )
             if d is not None:
                 diag[c0: c0 + w] = d
@@ -252,4 +280,5 @@ def multifrontal_factor(
         diag=diag,
         stats=stats,
         perturbed_columns=tuple(perturbed),
+        precision=precision,
     )

@@ -3,30 +3,53 @@
 One step of refinement after a direct solve recovers the digits lost to
 rounding in the factorization — the standard accuracy safeguard sparse
 direct solvers ship (WSMP enables it by default for its iterative-refinement
-solve mode).
+solve mode). With fp32 factors the roles sharpen: the cheap correction
+solves run in the factor's working precision while residuals accumulate in
+fp64, so a well-conditioned system recovers full fp64 accuracy from a
+half-storage factorization.
+
+Stopping test: the **normwise backward error**
+
+    berr = ‖b − A x‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)
+
+(Oettli–Prager style), not the bare ‖r‖∞/‖b‖∞ ratio — the denominator
+keeps the test meaningful when ‖x‖ dwarfs ‖b‖ and makes it scale-invariant
+per column.
+
+Divergence is detected, not looped through: a column whose backward error
+goes non-finite or grows past twice its best-so-far value is stopped
+immediately, flagged ``diverged``, and handed back its best-so-far iterate
+(never a NaN-poisoned one). Columns that merely exhaust ``max_iter`` are
+reported as non-converged with ``diverged`` False — the two outcomes ask
+for different remedies (re-factor in fp64 vs. raise the budget).
 
 The blocked path (:func:`iterative_refinement_many`) refines a whole
 ``(n, k)`` panel with **one sweep pair per iteration**: a single blocked
 residual matvec and a single blocked correction solve cover every
 still-active column. Convergence is tracked per column — a column that
-reaches the tolerance is frozen (its solution never touched again), so
-each column follows exactly the iteration trajectory it would follow
-refined alone, and the result is bitwise identical per column to the
-scalar :func:`iterative_refinement` (which delegates to the same core).
+reaches the tolerance (or diverges) is frozen, so each column follows
+exactly the iteration trajectory it would follow refined alone, and the
+result is bitwise identical per column to the scalar
+:func:`iterative_refinement` (which delegates to the same core).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.mf.numeric import NumericFactor
 from repro.mf.solve_phase import solve_many
 from repro.sparse.csc import CSCMatrix
-from repro.sparse.ops import sym_matvec_lower_many
+from repro.sparse.ops import sym_matvec_lower_many, sym_norm_inf_lower
 from repro.util.errors import ShapeError
 from repro.util.validation import as_float_array
+
+#: a column whose backward error exceeds this multiple of its best-so-far
+#: value is declared diverged (LAPACK's mixed-precision drivers use the
+#: same no-longer-halving idea to trigger their fp64 fallback)
+DIVERGENCE_GROWTH = 2.0
 
 
 @dataclass(frozen=True)
@@ -34,10 +57,16 @@ class RefinementResult:
     """Outcome of iterative refinement for one right-hand side."""
 
     x: np.ndarray
-    #: relative residual history, one entry per iteration (incl. initial)
+    #: normwise backward-error history, one entry per iteration (incl.
+    #: the initial direct solve)
     residual_history: tuple[float, ...]
     iterations: int
     converged: bool
+    #: True when refinement was stopped early because the backward error
+    #: went non-finite or grew; ``x`` is then the best-so-far iterate
+    diverged: bool = False
+    #: normwise backward error of the *returned* ``x``
+    backward_error: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -45,16 +74,20 @@ class PanelRefinementResult:
     """Outcome of blocked iterative refinement for an ``(n, k)`` panel."""
 
     x: np.ndarray
-    #: per-column relative residual history (tuple of tuples, column-major)
+    #: per-column backward-error history (tuple of tuples, column-major)
     residual_history: tuple[tuple[float, ...], ...]
     #: refinement iterations performed per column
     iterations: np.ndarray
     converged: np.ndarray
+    #: per-column early-stop flag (see :class:`RefinementResult.diverged`)
+    diverged: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=bool))
+    #: normwise backward error of the returned iterate, per column
+    backward_error: np.ndarray = field(default_factory=lambda: np.zeros(0))
 
     @property
     def residuals(self) -> np.ndarray:
-        """Final relative residual per column."""
-        return np.asarray([h[-1] for h in self.residual_history])
+        """Normwise backward error of the returned solution, per column."""
+        return self.backward_error
 
     def column(self, j: int) -> RefinementResult:
         """The scalar-result view of column *j*."""
@@ -63,6 +96,8 @@ class PanelRefinementResult:
             residual_history=self.residual_history[j],
             iterations=int(self.iterations[j]),
             converged=bool(self.converged[j]),
+            diverged=bool(self.diverged[j]),
+            backward_error=float(self.backward_error[j]),
         )
 
 
@@ -83,17 +118,23 @@ def _refine_panel(
     identical, so the refinement trajectory is too)."""
     n, k = b.shape
     x = np.zeros((n, k))
-    norms = (
-        np.max(np.abs(b), axis=0) if n else np.zeros(k)
-    )
+    bnorms = np.max(np.abs(b), axis=0) if n else np.zeros(k)
+    anorm = sym_norm_inf_lower(original_lower)
     histories: list[list[float]] = [[] for _ in range(k)]
     iterations = np.zeros(k, dtype=np.int64)
     converged = np.zeros(k, dtype=bool)
+    diverged = np.zeros(k, dtype=bool)
+    backward_error = np.zeros(k)
+    # Best-so-far iterate per column. The zero vector's backward error is
+    # exactly 1.0 (r = b), so it is a finite universal fallback even when
+    # the very first direct solve produces garbage.
+    best_x = np.zeros((n, k))
+    best_berr = np.ones(k)
 
     # Zero right-hand sides converge immediately with a zero solution,
     # matching the scalar fast path.
-    active = np.flatnonzero(norms > 0.0)
-    for j in np.flatnonzero(norms == 0.0):
+    active = np.flatnonzero(bnorms > 0.0)
+    for j in np.flatnonzero(bnorms == 0.0):
         histories[j].append(0.0)
         converged[j] = True
 
@@ -102,22 +143,59 @@ def _refine_panel(
     for it in range(max_iter + 1):
         if not active.size:
             break
-        r = b[:, active] - sym_matvec_lower_many(
-            original_lower, x[:, active]
-        )
-        rel = np.max(np.abs(r), axis=0) / norms[active]
+        # A non-finite iterate (a column overflowing the factor's working
+        # precision, or a broken solve) must be frozen *here*: the residual
+        # matvec validates its input and would reject the whole panel.
+        finite_x = np.all(np.isfinite(x[:, active]), axis=0)
+        for pos in np.flatnonzero(~finite_x):
+            j = active[pos]
+            histories[j].append(float("inf"))
+            iterations[j] = it
+            diverged[j] = True
+            x[:, j] = best_x[:, j]
+            backward_error[j] = best_berr[j]
+        active = active[finite_x]
+        if not active.size:
+            break
+        r = b[:, active] - sym_matvec_lower_many(original_lower, x[:, active])
+        with np.errstate(invalid="ignore", over="ignore"):
+            xnorms = np.max(np.abs(x[:, active]), axis=0)
+            berr = np.max(np.abs(r), axis=0) / (anorm * xnorms + bnorms[active])
         for pos, j in enumerate(active):
-            histories[j].append(float(rel[pos]))
-        done = rel <= tol
-        for j in active[done]:
+            histories[j].append(float(berr[pos]))
+        finite = np.isfinite(berr)
+        done = finite & (berr <= tol)
+        for pos in np.flatnonzero(done):
+            j = active[pos]
             iterations[j] = it
             converged[j] = True
-        active = active[~done]
-        r = r[:, ~done]
+            backward_error[j] = float(berr[pos])
+        # Divergence guard: check *before* the correction solve so a
+        # NaN/Inf iterate is frozen here instead of crashing (or further
+        # poisoning) the blocked solve below.
+        bad = ~done & (~finite | (berr > DIVERGENCE_GROWTH * best_berr[active]))
+        for pos in np.flatnonzero(bad):
+            j = active[pos]
+            iterations[j] = it
+            diverged[j] = True
+            x[:, j] = best_x[:, j]
+            backward_error[j] = best_berr[j]
+        keep = ~done & ~bad
+        for pos in np.flatnonzero(keep & (berr < best_berr[active])):
+            j = active[pos]
+            best_berr[j] = float(berr[pos])
+            best_x[:, j] = x[:, j]
+        active = active[keep]
+        r = r[:, keep]
         if not active.size:
             break
         if it == max_iter:
-            iterations[active] = max_iter
+            # Budget exhausted without meeting tol: return the best iterate
+            # seen, not whatever the last correction happened to produce.
+            for j in active:
+                iterations[j] = max_iter
+                x[:, j] = best_x[:, j]
+                backward_error[j] = best_berr[j]
             break
         # One blocked correction solve for every still-active column.
         x[:, active] += solve_fn(factor, r)
@@ -126,6 +204,8 @@ def _refine_panel(
         residual_history=tuple(tuple(h) for h in histories),
         iterations=iterations,
         converged=converged,
+        diverged=diverged,
+        backward_error=backward_error,
     )
 
 
@@ -144,7 +224,8 @@ def iterative_refinement(
         Lower triangle of A in the *original* ordering (the matrix handed
         to the analyze phase).
     tol
-        Stop when the relative residual ‖b − Ax‖∞ / ‖b‖∞ drops below this.
+        Stop when the normwise backward error
+        ``‖b − Ax‖∞ / (‖A‖∞·‖x‖∞ + ‖b‖∞)`` drops below this.
     """
     b = as_float_array(b, "b")
     if b.ndim != 1:

@@ -42,7 +42,7 @@ from repro.mf.numeric import NumericFactor
 from repro.obs.spans import span
 from repro.sparse.permute import permute_vector, unpermute_vector
 from repro.util.errors import ShapeError
-from repro.util.validation import as_float_array
+from repro.util.validation import VALUE_DTYPE, as_float_array
 
 
 def solve(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
@@ -52,13 +52,18 @@ def solve(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
     if b.shape != (n,):
         raise ShapeError(f"b must have shape ({n},); got {b.shape}")
     sym = factor.sym
-    with span("mf.solve", n=n, rhs=1, method=factor.method):
-        y = permute_vector(b, sym.perm)
+    with span(
+        "mf.solve", n=n, rhs=1, method=factor.method, precision=factor.precision
+    ):
+        # The sweeps run in the factor's working dtype (one rounding of the
+        # fp64 RHS on the way in); the result is widened back to fp64 so
+        # callers — iterative refinement above all — accumulate in fp64.
+        y = permute_vector(b, sym.perm).astype(factor.dtype, copy=False)
         forward_sweep(factor, y)
         if factor.method == "ldlt":
             y /= factor.diag
         backward_sweep(factor, y)
-        return unpermute_vector(y, sym.perm)
+        return unpermute_vector(y.astype(VALUE_DTYPE, copy=False), sym.perm)
 
 
 def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
@@ -79,13 +84,19 @@ def solve_many(factor: NumericFactor, b: np.ndarray) -> np.ndarray:
         # contract makes the dispatch invisible to callers.
         return solve(factor, b[:, 0])[:, None]
     sym = factor.sym
-    with span("mf.solve", n=n, rhs=int(b.shape[1]), method=factor.method):
-        y = permute_vector(b, sym.perm)
+    with span(
+        "mf.solve",
+        n=n,
+        rhs=int(b.shape[1]),
+        method=factor.method,
+        precision=factor.precision,
+    ):
+        y = permute_vector(b, sym.perm).astype(factor.dtype, copy=False)
         forward_sweep(factor, y)
         if factor.method == "ldlt":
             y /= factor.diag[:, None]
         backward_sweep(factor, y)
-        return unpermute_vector(y, sym.perm)
+        return unpermute_vector(y.astype(VALUE_DTYPE, copy=False), sym.perm)
 
 
 def forward_front(factor: NumericFactor, s: int, y: np.ndarray) -> np.ndarray | None:
@@ -115,7 +126,7 @@ def forward_front(factor: NumericFactor, s: int, y: np.ndarray) -> np.ndarray | 
             # One dgemv per column on a contiguous buffer: identical
             # bits to the single-RHS call, k columns per traversal.
             pivf = np.asfortranarray(piv)
-            upd = np.empty((rows.size - w, piv.shape[1]), order="F")
+            upd = np.empty((rows.size - w, piv.shape[1]), dtype=y.dtype, order="F")
             for c in range(piv.shape[1]):
                 np.dot(l21, pivf[:, c], out=upd[:, c])
             return upd
@@ -141,7 +152,7 @@ def backward_front(factor: NumericFactor, s: int, y: np.ndarray) -> None:
         l21t = block[w:, :].T
         if panel:
             xb = np.asfortranarray(y[rows[w:]])
-            upd = np.empty((w, piv.shape[1]), order="F")
+            upd = np.empty((w, piv.shape[1]), dtype=y.dtype, order="F")
             for c in range(piv.shape[1]):
                 np.dot(l21t, xb[:, c], out=upd[:, c])
             piv -= upd

@@ -14,9 +14,18 @@ and method):
    host engine (counted, not retried); a threads-backend *infrastructure*
    failure (:class:`~repro.util.errors.ExecBackendError`) degrades to the
    plain sequential backend — safe because the two are bitwise identical
-   — counted in ``service_backend_fallback_total``; host failures are
-   retried with exponential backoff up to the configured limit; the
-   per-job wall budget is checked between attempts (cooperative timeout).
+   — counted in ``service_backend_fallback_total``; an fp32 batch whose
+   factorization breaks down or whose refinement stalls re-runs with an
+   fp64 factor — counted in ``service_precision_fallback_total``; host
+   failures are retried with exponential backoff up to the configured
+   limit; the per-job wall budget is checked between attempts
+   (cooperative timeout).
+
+Mixed precision: a job's requested ``precision`` selects the working
+dtype of the host numeric factor. fp32 batches always run fp64 iterative
+refinement so completed results carry fp64-level backward error. The
+simulated parallel engine models an fp64 machine and ignores the knob
+(its results report ``precision="fp64"``).
 
 The executor is synchronous and deterministic given a deterministic clock;
 tests inject fake ``clock``/``sleep`` callables.
@@ -118,10 +127,11 @@ class Executor:
             engine = "sequential"
         attempts = 0
         degraded = False
+        precision = job0.precision
         while True:
             try:
-                x, residuals = self._run(
-                    engine, entry, job0.method, b_block, timings
+                x, residuals, precision = self._run(
+                    engine, entry, job0.method, b_block, timings, precision
                 )
                 break
             except ReproError as exc:
@@ -135,6 +145,13 @@ class Executor:
                     )
                     degraded = True
                     self.metrics.inc("degradations")
+                    continue
+                if precision != "fp64" and not isinstance(exc, ExecBackendError):
+                    # Deterministic numeric failure of the reduced-precision
+                    # factor (e.g. a pivot that is positive in fp64 but not
+                    # in fp32): retrying cannot help, the fp64 rung can.
+                    precision = "fp64"
+                    self.metrics.inc("service_precision_fallback_total")
                     continue
                 if engine == "threads" and isinstance(exc, ExecBackendError):
                     # Pool infrastructure failed (bad worker config, a
@@ -180,6 +197,7 @@ class Executor:
                     cache_hit=cache_hit,
                     batched_rhs=int(b_block.shape[1]),
                     timings=dict(timings),
+                    precision=precision,
                 )
             )
         return results
@@ -218,19 +236,28 @@ class Executor:
         method: str,
         b_block: np.ndarray,
         timings: dict,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Numeric factor + blocked solve on the chosen engine."""
+        precision: str = "fp64",
+    ) -> tuple[np.ndarray, np.ndarray, str]:
+        """Numeric factor + blocked solve on the chosen engine.
+
+        Returns ``(x, residuals, effective_precision)`` — the precision
+        may have been walked down to fp64 by the in-solve refinement
+        fallback (host engines) or pinned at fp64 (parallel engine).
+        """
         if engine == "parallel":
             x = self._run_parallel(entry, method, b_block, timings)
+            precision = "fp64"  # the simulated machine models fp64 hardware
         else:
-            x = self._run_host(entry, b_block, timings, engine)
+            x, precision = self._run_host(
+                entry, b_block, timings, engine, precision
+            )
         lower = entry.solver.lower
         # One blocked residual matvec for the whole panel (bitwise identical
         # per column to the per-column check).
         r = b_block - sym_matvec_lower_many(lower, x)
         denom = np.maximum(np.max(np.abs(b_block), axis=0), 1e-300)
         residuals = np.max(np.abs(r), axis=0) / denom
-        return x, residuals
+        return x, residuals, precision
 
     def _run_host(
         self,
@@ -238,9 +265,16 @@ class Executor:
         b_block: np.ndarray,
         timings: dict,
         engine: str = "sequential",
-    ) -> np.ndarray:
+        precision: str = "fp64",
+    ) -> tuple[np.ndarray, str]:
         """Factor + solve on the host: sequential or the threads backend
-        (bitwise identical, so the engine choice never changes answers)."""
+        (bitwise identical, so the engine choice never changes answers).
+
+        Returns ``(x, effective_precision)``. fp32 batches always run
+        iterative refinement (it is what recovers fp64 accuracy); when
+        refinement stalls or diverges on any column the batch re-factors
+        the same values in fp64 and refines against the robust factor.
+        """
         solver = entry.solver
         workers = self.options.workers
         if engine == "threads":
@@ -252,12 +286,24 @@ class Executor:
         else:
             backend = "seq"
             solve_fn = mf_solve_many
-        with span("service.factor", engine=engine), WallTimer() as t:
-            solver.factor(backend=backend, workers=workers)
-        timings["factor"] = timings.get("factor", 0.0) + t.elapsed
+
+        def timed_factor(prec: str) -> None:
+            with span(
+                "service.factor", engine=engine, precision=prec
+            ), WallTimer() as t:
+                solver.factor(backend=backend, workers=workers, precision=prec)
+            timings["factor"] = timings.get("factor", 0.0) + t.elapsed
+            # Precision-tagged phase timing: drained into per-precision
+            # latency histograms (factor_fp32 / factor_fp64) by the service.
+            key = f"factor_{prec}"
+            timings[key] = timings.get(key, 0.0) + t.elapsed
+
+        timed_factor(precision)
         if solver.numeric.exec_stats is not None:
             # Surface the pool's telemetry through the service registry.
             solver.numeric.exec_stats.publish(self.metrics.registry)
+        refine = self.options.refine or precision != "fp64"
+        factor_before_solve = timings.get("factor", 0.0)
         # Genuine blocked multi-RHS solve: one permute → sweep → unpermute
         # pass for the whole coalesced panel (and one blocked refinement
         # loop when enabled), not a per-column re-traversal.
@@ -265,16 +311,33 @@ class Executor:
             "service.solve",
             engine=engine,
             rhs=int(b_block.shape[1]),
-            refine=self.options.refine,
+            refine=refine,
+            precision=precision,
         ), WallTimer() as t:
-            if self.options.refine:
-                x = iterative_refinement_many(
+            if refine:
+                res = iterative_refinement_many(
                     solver.numeric, solver.lower, b_block, solve_fn=solve_fn
-                ).x
+                )
+                if precision != "fp64" and not bool(np.all(res.converged)):
+                    # Reduced-precision refinement stalled or diverged: the
+                    # last rung of the ladder is an fp64 re-factor of the
+                    # same values on the same analysis.
+                    self.metrics.inc("service_precision_fallback_total")
+                    precision = "fp64"
+                    timed_factor(precision)
+                    res = iterative_refinement_many(
+                        solver.numeric, solver.lower, b_block, solve_fn=solve_fn
+                    )
+                x = res.x
             else:
                 x = solve_fn(solver.numeric, b_block)
-        timings["solve"] = timings.get("solve", 0.0) + t.elapsed
-        return x
+        # A precision fallback re-factors *inside* the solve window; keep
+        # the factor share out of the solve phase timing.
+        fallback_factor = timings.get("factor", 0.0) - factor_before_solve
+        timings["solve"] = timings.get("solve", 0.0) + max(
+            t.elapsed - fallback_factor, 0.0
+        )
+        return x, precision
 
     def _run_parallel(
         self, entry: AnalysisEntry, method: str, b_block: np.ndarray, timings: dict

@@ -51,14 +51,21 @@ class SolveJob:
     submitted_at: float = 0.0
     #: True when the caller passed a 1-D right-hand side
     squeeze: bool = False
+    #: requested working precision of the numeric factor ("fp64"/"fp32")
+    precision: str = "fp64"
 
     @property
     def n_rhs(self) -> int:
         return int(self.b.shape[1])
 
     def batch_key(self) -> tuple:
-        """Jobs with equal batch keys may run as one blocked solve."""
-        return (self.fingerprint.key, self.values_key, self.method)
+        """Jobs with equal batch keys may run as one blocked solve.
+
+        Precision is part of the key: an fp32 and an fp64 request against
+        the same values need different numeric factors, so they cannot
+        share a batch.
+        """
+        return (self.fingerprint.key, self.values_key, self.method, self.precision)
 
 
 @dataclass
@@ -83,6 +90,9 @@ class JobResult:
     #: per-phase wall seconds (analyze / plan / factor / solve)
     timings: dict[str, float] = field(default_factory=dict)
     error: str | None = None
+    #: working precision that actually produced ``x`` — "fp64" after an
+    #: automatic fp32→fp64 fallback, even for an fp32 request
+    precision: str = "fp64"
 
     @property
     def ok(self) -> bool:

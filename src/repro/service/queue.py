@@ -29,7 +29,7 @@ from repro.service.fingerprint import pattern_fingerprint, values_digest
 from repro.service.jobs import EXPIRED, JobResult, SolveJob
 from repro.service.metrics import ServiceMetrics
 from repro.util.errors import ShapeError
-from repro.util.validation import as_float_array
+from repro.util.validation import as_float_array, work_dtype
 
 
 class JobQueue:
@@ -103,6 +103,11 @@ class ServiceConfig:
     backend: str = "seq"
     #: worker threads for backend="threads" (None = auto)
     workers: int | None = None
+    #: default working precision of numeric factors ("fp64" or "fp32");
+    #: per-request override via ``submit(precision=...)``. fp32 batches
+    #: always run iterative refinement and fall back to an fp64 re-factor
+    #: when refinement stalls (counted in service_precision_fallback_total)
+    precision: str = "fp64"
 
     def executor_options(self) -> ExecutorOptions:
         return ExecutorOptions(
@@ -151,14 +156,19 @@ class SolverService:
         priority: int = 0,
         deadline: float | None = None,
         timeout: float | None = None,
+        precision: str | None = None,
     ) -> int:
         """Enqueue one solve request; returns its job id.
 
         *a* is a full symmetric or lower-triangular :class:`CSCMatrix`;
         *b* has shape ``(n,)`` or ``(n, k)``. *deadline* is absolute on the
         service clock (see :meth:`now`); *timeout* is a wall-second budget
-        once execution starts.
+        once execution starts. *precision* overrides the service-wide
+        default (:attr:`ServiceConfig.precision`) for this request.
         """
+        if precision is None:
+            precision = self.config.precision
+        work_dtype(precision)  # validate the name before enqueueing
         lower = as_symmetric_lower(a)
         b = as_float_array(b, "b")
         n = lower.shape[0]
@@ -179,6 +189,7 @@ class SolverService:
             timeout=timeout,
             submitted_at=self._clock(),
             squeeze=squeeze,
+            precision=precision,
         )
         self._next_id += 1
         self.queue.push(job)

@@ -158,6 +158,28 @@ def sym_matvec_lower(lower: CSCMatrix, x: np.ndarray) -> np.ndarray:
     return y
 
 
+def sym_norm_inf_lower(lower: CSCMatrix) -> float:
+    """``‖A‖∞`` (max absolute row sum) of a symmetric matrix given only its
+    lower triangle (diagonal included).
+
+    Feeds the normwise backward-error denominator
+    ``‖A‖∞·‖x‖∞ + ‖b‖∞`` used by iterative refinement's stopping test.
+    """
+    n = lower.shape[0]
+    if lower.shape[0] != lower.shape[1]:
+        raise ShapeError("sym_norm_inf_lower requires a square lower triangle")
+    if lower.nnz == 0:
+        return 0.0
+    row_sums = np.zeros(n)
+    col_of = np.repeat(np.arange(n, dtype=np.int64), np.diff(lower.indptr))
+    rows = lower.indices
+    absv = np.abs(lower.data)
+    np.add.at(row_sums, rows, absv)
+    off = rows != col_of
+    np.add.at(row_sums, col_of[off], absv[off])
+    return float(row_sums.max())
+
+
 def sym_matvec_lower_many(lower: CSCMatrix, x: np.ndarray) -> np.ndarray:
     """``Y = A @ X`` for a panel ``X`` of shape ``(n, k)``, where A is
     symmetric with only its lower triangle stored.

@@ -17,6 +17,8 @@ from repro.util.validation import (
     check_same_shape,
     as_float_array,
     as_index_array,
+    work_dtype,
+    WORK_DTYPES,
 )
 from repro.util.rng import make_rng
 from repro.util.timing import WallTimer
@@ -37,6 +39,8 @@ __all__ = [
     "check_same_shape",
     "as_float_array",
     "as_index_array",
+    "work_dtype",
+    "WORK_DTYPES",
     "make_rng",
     "WallTimer",
     "format_table",

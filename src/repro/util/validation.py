@@ -18,6 +18,38 @@ INDEX_DTYPE = np.int64
 #: Canonical floating dtype for values throughout the library.
 VALUE_DTYPE = np.float64
 
+# -- working precision of the numeric pipeline -------------------------------
+#
+# The numeric phases (frontal factorization, triangular solves) may run in a
+# reduced *working* precision: fp32 halves the bytes moved and roughly
+# doubles dense-kernel rates, and fp64 accuracy is recovered by iterative
+# refinement against the always-fp64 input matrix. Everything structural
+# (indices, the sparse input, residuals, refined solutions) stays at the
+# canonical dtypes above; only frontal storage and sweep arithmetic follow
+# the working dtype.
+
+#: precision names accepted by ``factor(precision=)`` and the service knob,
+#: mapped to the numpy working dtype of the frontal kernels
+WORK_DTYPES: dict[str, np.dtype] = {
+    "fp64": np.dtype(np.float64),
+    "fp32": np.dtype(np.float32),
+}
+
+
+def work_dtype(precision: str) -> np.dtype:
+    """The numpy working dtype for a *precision* name (``"fp64"``/``"fp32"``).
+
+    Raises :class:`ShapeError` on anything else so a typo fails at the API
+    boundary, not deep inside a frontal kernel.
+    """
+    try:
+        return WORK_DTYPES[precision]
+    except KeyError:
+        raise ShapeError(
+            f"unknown precision {precision!r}; expected one of "
+            f"{tuple(WORK_DTYPES)}"
+        ) from None
+
 # -- debug-mode runtime checks (the REPRO_CHECK switch) ----------------------
 #
 # Hot paths that normally skip validation (``_skip_check=True`` matrix

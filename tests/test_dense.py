@@ -67,9 +67,15 @@ class TestCholesky:
         with pytest.raises(ShapeError):
             cholesky_in_place(np.ones((2, 3)))
 
-    def test_rejects_non_float64(self):
+    def test_rejects_non_working_dtype(self):
+        # float32 is a valid working dtype now; float16 is still rejected.
         with pytest.raises(ShapeError):
-            cholesky_in_place(np.eye(3, dtype=np.float32))
+            cholesky_in_place(np.eye(3, dtype=np.float16))
+
+    def test_fp32_matches_fp64_shape_contract(self):
+        a = np.eye(3, dtype=np.float32)
+        cholesky_in_place(a)
+        assert a.dtype == np.float32
 
     def test_rejects_bad_block(self):
         with pytest.raises(ShapeError):
