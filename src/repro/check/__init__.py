@@ -2,11 +2,20 @@
 
 Three passes, one CLI (``python -m repro.cli check``):
 
-* :mod:`repro.check.lint` — project-specific AST lint (rules RP001…RP007)
-  with inline ``# repro: noqa[RPxxx]`` suppression;
+* :mod:`repro.check.lint` — project-specific AST lint (rules RP001…RP010)
+  with inline ``# repro: noqa[RPxxx]`` suppression (comma-separated rule
+  lists supported);
 * :mod:`repro.check.commcheck` — replays a :class:`~repro.simmpi.trace.
   CommTrace` and flags unmatched messages, conservation violations,
   wait-for cycles (deadlock), and order-nondeterministic receive pairs;
+* :mod:`repro.check.racecheck` — replays an
+  :class:`~repro.exec.trace.ExecTrace` through a happens-before engine
+  and flags unordered conflicting slot accesses, conservation violations
+  (a contribution not produced/consumed exactly once), and
+  schedule-nondeterminism between runs;
+* :mod:`repro.check.schedfuzz` — seeded adversarial schedule fuzzing of
+  the :class:`~repro.exec.pool.TaskPool` (ready-queue permutations,
+  forced preemptions, injected delays), replayable byte-for-byte;
 * :mod:`repro.check.sanitize` — debug-mode invariant checks (CSR/CSC
   well-formedness, permutation validity, etree acyclicity/postorder,
   supernode coverage, frontal-stack balance, ledger conservation) hooked
@@ -24,7 +33,7 @@ from __future__ import annotations
 import importlib
 from typing import Any
 
-__all__ = ["lint", "commcheck", "sanitize", "selftest"]
+__all__ = ["lint", "commcheck", "racecheck", "schedfuzz", "sanitize", "selftest"]
 
 _SUBMODULES = frozenset(__all__)
 

@@ -13,9 +13,12 @@ tests) through a virtual post office and reports:
   destination, tag) key, so the delivered payload depends on arrival
   order the tag cannot distinguish;
 * **deadlock** — a wait-for cycle among terminally blocked ranks (rank a
-  blocked on b, b on c, …, back to a);
-* **starved** — a rank terminally blocked on a message that was never
-  sent (deadlock's acyclic cousin);
+  blocked on b, b on c, …, back to a); *every* disjoint cycle is
+  reported, each step carrying the blocking message key (source rank +
+  tag);
+* **starved** — a rank terminally blocked outside any cycle, either on a
+  message that was never sent or behind a deadlock cycle its wait chain
+  leads into (the diagnostic distinguishes the two);
 * **conservation** — per-rank count/byte totals in the trace disagree
   with the :class:`~repro.simmpi.ledger.MessageLedger`, or the ledger
   itself violates the conservation identities
@@ -211,13 +214,26 @@ def check_trace(
     return report
 
 
+def _blocking_key(e: CommEvent) -> str:
+    """The message key a blocked rank is parked on, for diagnostics."""
+    return f"recv(src=rank {e.peer}, tag={e.tag!r})"
+
+
 def _deadlock_findings(waiting: dict[int, CommEvent]) -> list[CommFinding]:
     """Wait-for cycles (deadlock) and acyclic terminal blocks (starvation)
-    among ranks whose last recorded state is 'blocked'."""
+    among ranks whose last recorded state is 'blocked'.
+
+    *Every* disjoint cycle is reported (one finding per cycle), each step
+    annotated with the blocking message key — the exact ``(source, tag)``
+    receive the rank is parked on. Ranks whose wait chain merely *leads
+    into* a cycle are reported as blocked behind that deadlock, distinct
+    from genuine starvation (waiting on a message that was never sent).
+    """
     findings: list[CommFinding] = []
     in_cycle: set[int] = set()
     # Each blocked rank waits on exactly one peer: the wait-for graph is
-    # functional, so cycles are found by walking successors.
+    # functional, so every cycle is found by walking successors from each
+    # unvisited rank (disjoint cycles surface on separate walks).
     for start in sorted(waiting):
         if start in in_cycle:
             continue
@@ -232,8 +248,8 @@ def _deadlock_findings(waiting: dict[int, CommEvent]) -> list[CommFinding]:
             cycle = path[seen_at[r]:]
             if not in_cycle.intersection(cycle):
                 steps = " -> ".join(
-                    f"rank {a} (tag {waiting[a].tag}, "
-                    f"blocked t={waiting[a].time:.6g})"
+                    f"rank {a} [{_blocking_key(waiting[a])}, "
+                    f"blocked t={waiting[a].time:.6g}]"
                     for a in cycle
                 )
                 findings.append(
@@ -253,18 +269,39 @@ def _deadlock_findings(waiting: dict[int, CommEvent]) -> list[CommFinding]:
         if r in in_cycle:
             continue
         e = waiting[r]
-        findings.append(
-            CommFinding(
-                code="starved",
-                severity=ERROR,
-                message=(
-                    f"blocked forever on a receive from rank {e.peer} "
-                    f"tag {e.tag} that was never sent"
-                ),
-                rank=r,
-                time=e.time,
+        # Walk this rank's wait chain: ending in a deadlock cycle is a
+        # different disease (victim of the deadlock) than waiting on a
+        # message nobody ever sent.
+        chain = r
+        while chain in waiting and chain not in in_cycle:
+            chain = waiting[chain].peer
+        if chain in in_cycle:
+            findings.append(
+                CommFinding(
+                    code="starved",
+                    severity=ERROR,
+                    message=(
+                        f"blocked on {_blocking_key(e)} behind the "
+                        f"wait-for cycle through rank {chain} — the "
+                        "sender can never run"
+                    ),
+                    rank=r,
+                    time=e.time,
+                )
             )
-        )
+        else:
+            findings.append(
+                CommFinding(
+                    code="starved",
+                    severity=ERROR,
+                    message=(
+                        f"blocked forever on {_blocking_key(e)} — "
+                        "that message was never sent"
+                    ),
+                    rank=r,
+                    time=e.time,
+                )
+            )
     return findings
 
 

@@ -3,8 +3,10 @@
 Each rule is a small class with a stable ID, scoped by the dotted module
 path inferred from the file location (``src/repro/mf/numeric.py`` →
 ``repro.mf.numeric``). Findings carry file/line/column evidence and can be
-suppressed inline with ``# repro: noqa[RP001]`` (or ``# repro: noqa`` for
-all rules) on the offending line.
+suppressed inline with ``# repro: noqa[RP001]``, a comma-separated list
+``# repro: noqa[RP001,RP004]``, or ``# repro: noqa`` for all rules, on
+the offending line. Malformed bracket contents suppress nothing (they
+never blanket-suppress).
 
 Rule catalog
 ------------
@@ -16,6 +18,11 @@ RP005  package ``__init__`` modules must declare ``__all__``
 RP006  unused imports (``__all__``-aware; ``__init__`` re-exports exempt)
 RP007  no direct ``time.perf_counter()`` outside timing/observability code
 RP008  no raw threading / concurrent.futures outside :mod:`repro.exec`
+RP009  shared-mutable-state discipline in :mod:`repro.exec` (no
+       module-level mutable containers, no ``global`` rebinding)
+RP010  lock discipline: primitives constructed only in
+       :mod:`repro.exec.pool` (or via ``make_lock``), ``with``-statement
+       acquisition only — no bare ``acquire``/``release``
 
 Run via ``python -m repro.cli check --lint [PATHS…]`` or
 :func:`lint_paths`.
@@ -42,9 +49,17 @@ __all__ = [
     "lint_paths",
 ]
 
+#: the bracket group is permissive on purpose — anything inside ``[...]``
+#: is captured and tokenized by ``_suppressed``, so a malformed list
+#: (``noqa[RP001;bogus]``) suppresses only what parses as a rule id
+#: instead of falling back to suppress-everything.
 _NOQA_RE = re.compile(
-    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Za-z0-9, ]+)\])?", re.IGNORECASE
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<ids>[^\]]*)\])?", re.IGNORECASE
 )
+
+#: separators tolerated inside a noqa rule list: commas (canonical),
+#: whitespace, and semicolons
+_NOQA_SPLIT_RE = re.compile(r"[,;\s]+")
 
 #: packages whose kernels must use the canonical dtypes (RP003)
 KERNEL_PACKAGES = ("repro.mf", "repro.sparse", "repro.symbolic")
@@ -591,6 +606,178 @@ class NoRawThreadingRule(LintRule):
                     )
 
 
+# -- RP009 -------------------------------------------------------------------
+
+#: immutable value expressions allowed at module level in repro.exec
+_IMMUTABLE_CALLS = frozenset({"frozenset", "tuple", "int", "float", "str", "bool"})
+
+
+def _mutable_container_expr(expr: ast.expr) -> str | None:
+    """The kind of mutable container *expr* builds, or None."""
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        if expr.func.id in ("list", "dict", "set", "bytearray", "deque", "defaultdict"):
+            return expr.func.id
+    return None
+
+
+class SharedMutableStateRule(LintRule):
+    """RP009: shared-mutable-state discipline in :mod:`repro.exec`.
+
+    Task bodies run on concurrent worker threads; any module-level
+    mutable container (list/dict/set, ``defaultdict``…) in the execution
+    backend is shared by *every* pool run in the process and is exactly
+    the kind of state a schedule-dependent write order corrupts. The
+    sanctioned patterns are function-local state captured by task
+    closures (per-run by construction), per-slot ownership partitioning,
+    and ``_RunState`` fields guarded by the pool's condition variable.
+    ``global`` rebinding anywhere in the package is flagged for the same
+    reason. Annotated module *constants* (tuples, frozensets, numbers)
+    stay fine.
+    """
+
+    id = "RP009"
+    title = "module-level mutable state in repro.exec"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.module == "repro.exec" or ctx.module.startswith("repro.exec.")
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        for node in ctx.tree.body:
+            value: ast.expr | None = None
+            names: list[str] = []
+            if isinstance(node, ast.Assign):
+                value = node.value
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value = node.value
+                if isinstance(node.target, ast.Name):
+                    names = [node.target.id]
+            if value is None or not names:
+                continue
+            if names == ["__all__"]:
+                continue
+            kind = _mutable_container_expr(value)
+            if kind is not None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"module-level mutable {kind} {names[0]!r} in the "
+                    "execution backend — shared across every worker and "
+                    "pool run; keep mutable state function-local (task "
+                    "closures) or inside the lock-guarded _RunState",
+                )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"'global {', '.join(node.names)}' in the execution "
+                    "backend — rebinding module state from task bodies is "
+                    "schedule-dependent; thread state through _RunState "
+                    "or closures",
+                )
+
+
+# -- RP010 -------------------------------------------------------------------
+
+#: thread-synchronization primitive constructors; building one of these
+#: anywhere but repro.exec.pool (which wraps them behind make_lock and the
+#: pool's own condition variable) evades the audited lock discipline
+_SYNC_PRIMITIVES = frozenset(
+    {
+        "Lock",
+        "RLock",
+        "Condition",
+        "Semaphore",
+        "BoundedSemaphore",
+        "Event",
+        "Barrier",
+    }
+)
+
+#: the one module allowed to construct thread primitives
+_LOCK_HOME = "repro.exec.pool"
+
+
+class LockDisciplineRule(LintRule):
+    """RP010: locks come from the pool, are scoped by ``with``, only.
+
+    Two checks across the whole library:
+
+    * **construction** — ``threading.Lock()`` / ``Condition()`` / … may
+      only be built inside :mod:`repro.exec.pool`; everything else calls
+      :func:`repro.exec.pool.make_lock` so each primitive's provenance is
+      auditable in one file;
+    * **acquisition** — no bare ``.acquire()`` / ``.release()`` calls
+      anywhere: un-scoped acquisition leaks the lock on any exception
+      path between the two calls. ``with lock:`` is the only sanctioned
+      form (``Condition.wait``/``notify`` are fine — they require the
+      ``with`` block already).
+    """
+
+    id = "RP010"
+    title = "unsanctioned lock construction or bare acquire/release"
+
+    def applies(self, ctx: LintContext) -> bool:
+        return ctx.in_repro
+
+    def check(self, ctx: LintContext) -> Iterator[LintFinding]:
+        in_lock_home = ctx.module == _LOCK_HOME
+        # Names bound by `from threading import X` (so a bare `Lock()`
+        # call can be attributed to the threading module).
+        from_threading: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "threading":
+                for alias in node.names:
+                    from_threading.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            f = node.func
+            if isinstance(f, ast.Attribute):
+                if f.attr in ("acquire", "release"):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"bare '.{f.attr}()' — acquisition must be "
+                        "'with'-statement scoped (a raised exception "
+                        "between acquire and release leaks the lock)",
+                    )
+                    continue
+                if (
+                    not in_lock_home
+                    and f.attr in _SYNC_PRIMITIVES
+                    and isinstance(f.value, ast.Name)
+                    and f.value.id == "threading"
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"threading.{f.attr}() constructed outside "
+                        f"{_LOCK_HOME} — obtain locks via "
+                        "repro.exec.pool.make_lock()",
+                    )
+            elif (
+                isinstance(f, ast.Name)
+                and not in_lock_home
+                and f.id in _SYNC_PRIMITIVES
+                and f.id in from_threading
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{f.id}() (from threading) constructed outside "
+                    f"{_LOCK_HOME} — obtain locks via "
+                    "repro.exec.pool.make_lock()",
+                )
+
+
 # -- engine ------------------------------------------------------------------
 
 DEFAULT_RULES: tuple[type[LintRule], ...] = (
@@ -602,6 +789,8 @@ DEFAULT_RULES: tuple[type[LintRule], ...] = (
     UnusedImportRule,
     NoDirectPerfCounterRule,
     NoRawThreadingRule,
+    SharedMutableStateRule,
+    LockDisciplineRule,
 )
 
 #: id → one-line description (the DESIGN.md rule catalog is generated
@@ -635,8 +824,15 @@ def _suppressed(finding: LintFinding, lines: Sequence[str]) -> bool:
         return False
     ids = m.group("ids")
     if ids is None:
-        return True
-    wanted = {tok.strip().upper() for tok in ids.split(",") if tok.strip()}
+        return True  # bare "# repro: noqa" suppresses every rule
+    # Empty or malformed brackets suppress nothing: only tokens that look
+    # like rule ids count, so "noqa[]" or "noqa[bogus]" cannot silently
+    # blanket-suppress a line.
+    wanted = {
+        tok.upper()
+        for tok in _NOQA_SPLIT_RE.split(ids)
+        if re.fullmatch(r"RP\d{3}", tok, re.IGNORECASE)
+    }
     return finding.rule.upper() in wanted
 
 

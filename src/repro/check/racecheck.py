@@ -1,0 +1,614 @@
+"""Happens-before data-race & determinism checking over exec traces.
+
+Replays an :class:`~repro.exec.trace.ExecTrace` (recorded by a
+:class:`~repro.exec.pool.TaskPool` with ``trace=True`` / ``REPRO_CHECK=1``,
+loaded from JSONL, or hand-built in tests) and reports every
+synchronization defect it can prove from the log:
+
+* **race** — two conflicting accesses to the same shared slot that the
+  *exercised* dependency edges do not order. The partial order is
+  rebuilt from the ``dep_dec`` events alone — deliberately **excluding**
+  same-worker scheduling order — so a race masked by the particular
+  schedule that happened to run is still caught: if the only thing
+  ordering two conflicting accesses is which worker got there first,
+  that is a race;
+* **double-write** — a slot published more than once;
+* **double-consume** — the same contribution run consumed twice
+  (conservation: every contribution is produced and consumed exactly
+  once);
+* **missing-write** / **consume-before-write** — a consume with no
+  matching publication, or one the happens-before order does not place
+  after its publication;
+* **unconsumed** — a published contribution nobody ever consumed;
+* **nondeterminism** — two runs of the same graph (e.g. at different
+  worker counts) whose canonical normalizations differ: different task
+  sets, dependency edges, or per-task slot access sequences;
+* **malformed** — a structurally broken trace (events outside a
+  ``graph_begin``…``graph_end`` segment, a cyclic dependency log, slot
+  accesses with no owning task): always a checker-stopping error.
+
+Conflict model
+--------------
+``slot_write`` mutates the slot; ``slot_read`` is a pure read;
+``slot_consume`` is a read *plus* invalidation for whole-slot
+contributions (``lo == -1``, the factor backend sets the slot to
+``None``) and a pure run read for row-run contributions (``lo``/``hi``
+given, the forward solve). Two accesses conflict when they touch
+overlapping ranges of one slot and at least one of them mutates.
+Accesses by the same task are program-ordered; everything else needs a
+``dep_dec`` path between the owning tasks.
+
+Aborted segments (``graph_abort``: a task raised, the run was cancelled,
+or the pool stalled) still get race checking over the events that *did*
+happen, but conservation is skipped — an interrupted run legitimately
+leaves contributions unconsumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exec.trace import EXEC_EVENT_KINDS, ExecEvent, ExecTrace
+from repro.util.errors import RaceError
+
+__all__ = [
+    "RaceFinding",
+    "RaceReport",
+    "check_exec_trace",
+    "verify_exec_trace",
+    "normalize_trace",
+    "check_determinism",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One synchronization defect proven from an execution trace."""
+
+    code: str  # "race" | "double-write" | "double-consume" | "missing-write"
+    #            | "consume-before-write" | "unconsumed" | "nondeterminism"
+    #            | "malformed"
+    severity: str  # ERROR | WARNING
+    message: str
+    #: graph label of the segment the finding belongs to ("" = trace-level)
+    graph: str = ""
+    slot: str = ""
+    #: the tasks involved (owning tasks of the conflicting accesses)
+    tasks: tuple[int, ...] = ()
+
+    def format(self) -> str:
+        where = f" [{self.graph}]" if self.graph else ""
+        if self.slot:
+            where += f" slot {self.slot}"
+        return f"{self.severity}: {self.code}{where}: {self.message}"
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one trace replay (or one determinism audit)."""
+
+    findings: list[RaceFinding] = field(default_factory=list)
+    n_events: int = 0
+    n_segments: int = 0
+    n_hb_pairs_checked: int = 0
+
+    @property
+    def errors(self) -> list[RaceFinding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[RaceFinding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """True when no *errors* were found (warnings allowed)."""
+        return not self.errors
+
+    def summary(self) -> str:
+        head = (
+            f"racecheck: {self.n_events} events, {self.n_segments} graph "
+            f"run(s), {self.n_hb_pairs_checked} access pair(s) checked, "
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        )
+        body = "\n".join(f.format() for f in self.findings)
+        return head if not body else head + "\n" + body
+
+
+# ---------------------------------------------------------------------------
+# segmentation
+
+
+@dataclass
+class _Segment:
+    """One ``graph_begin`` … ``graph_end``/``graph_abort`` run."""
+
+    label: str
+    n_tasks: int
+    aborted: bool
+    events: list[ExecEvent]
+
+
+def _split_segments(
+    events: Sequence[ExecEvent], findings: list[RaceFinding]
+) -> list[_Segment]:
+    segments: list[_Segment] = []
+    current: _Segment | None = None
+    for e in events:
+        if e.kind not in EXEC_EVENT_KINDS:
+            findings.append(
+                RaceFinding(
+                    code="malformed",
+                    severity=ERROR,
+                    message=f"unknown event kind {e.kind!r} at seq {e.seq}",
+                )
+            )
+            continue
+        if e.kind == "graph_begin":
+            if current is not None:
+                findings.append(
+                    RaceFinding(
+                        code="malformed",
+                        severity=ERROR,
+                        message=(
+                            f"graph_begin at seq {e.seq} inside an open "
+                            f"segment ({current.label!r}) — missing "
+                            "graph_end/graph_abort"
+                        ),
+                        graph=current.label,
+                    )
+                )
+            current = _Segment(
+                label=e.label, n_tasks=e.target, aborted=False, events=[]
+            )
+            continue
+        if e.kind in ("graph_end", "graph_abort"):
+            if current is None:
+                findings.append(
+                    RaceFinding(
+                        code="malformed",
+                        severity=ERROR,
+                        message=(
+                            f"{e.kind} at seq {e.seq} with no open segment"
+                        ),
+                        graph=e.label,
+                    )
+                )
+                continue
+            current.aborted = e.kind == "graph_abort"
+            segments.append(current)
+            current = None
+            continue
+        if current is None:
+            findings.append(
+                RaceFinding(
+                    code="malformed",
+                    severity=ERROR,
+                    message=(
+                        f"{e.kind} event at seq {e.seq} outside any "
+                        "graph_begin/graph_end segment"
+                    ),
+                )
+            )
+            continue
+        current.events.append(e)
+    if current is not None:
+        # An unterminated segment means the log was truncated mid-run:
+        # treat it like an aborted run (race checking without conservation).
+        current.aborted = True
+        segments.append(current)
+        findings.append(
+            RaceFinding(
+                code="malformed",
+                severity=WARNING,
+                message=(
+                    f"segment {current.label!r} has no graph_end/"
+                    "graph_abort (truncated log?) — conservation skipped"
+                ),
+                graph=current.label,
+            )
+        )
+    return segments
+
+
+# ---------------------------------------------------------------------------
+# happens-before order
+
+
+def _ancestor_bitsets(
+    n_tasks: int,
+    edges: set[tuple[int, int]],
+    label: str,
+    findings: list[RaceFinding],
+) -> list[int] | None:
+    """``reach[v]`` = bitmask of every task with a dep-edge path to *v*.
+
+    Returns ``None`` (and records a finding) when the edge log is cyclic —
+    a log that cannot come from a real pool run.
+    """
+    succs: list[list[int]] = [[] for _ in range(n_tasks)]
+    indeg = [0] * n_tasks
+    for u, v in edges:
+        succs[u].append(v)
+        indeg[v] += 1
+    # Kahn topological order; ancestor sets propagate along it.
+    order = [v for v in range(n_tasks) if indeg[v] == 0]
+    reach = [0] * n_tasks
+    head = 0
+    while head < len(order):
+        u = order[head]
+        head += 1
+        mask = reach[u] | (1 << u)
+        for v in succs[u]:
+            reach[v] |= mask
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                order.append(v)
+    if len(order) != n_tasks:
+        stuck = [v for v in range(n_tasks) if indeg[v] > 0]
+        findings.append(
+            RaceFinding(
+                code="malformed",
+                severity=ERROR,
+                message=(
+                    f"dependency-decrement edges contain a cycle through "
+                    f"task(s) {stuck[:6]} — not a possible pool run"
+                ),
+                graph=label,
+                tasks=tuple(stuck[:6]),
+            )
+        )
+        return None
+    return reach
+
+
+def _ordered(reach: list[int], a: int, b: int) -> bool:
+    """True when tasks *a* and *b* are happens-before comparable."""
+    return bool((reach[b] >> a) & 1) or bool((reach[a] >> b) & 1)
+
+
+# ---------------------------------------------------------------------------
+# per-segment checking
+
+
+@dataclass(frozen=True)
+class _Access:
+    kind: str  # "slot_write" | "slot_read" | "slot_consume"
+    task: int
+    seq: int
+    lo: int
+    hi: int
+
+    def mutates(self) -> bool:
+        # A whole-slot consume invalidates the slot (the factor backend
+        # sets it to None); a row-run consume is a pure read.
+        return self.kind == "slot_write" or (
+            self.kind == "slot_consume" and self.lo == -1
+        )
+
+    def overlaps(self, other: "_Access") -> bool:
+        if self.lo == -1 or other.lo == -1:
+            return True  # whole-slot access overlaps everything
+        return self.lo < other.hi and other.lo < self.hi
+
+    def span(self) -> str:
+        return "whole slot" if self.lo == -1 else f"rows [{self.lo}:{self.hi})"
+
+
+def _check_segment(seg: _Segment, report: RaceReport) -> None:
+    findings = report.findings
+    n = seg.n_tasks
+    edges: set[tuple[int, int]] = set()
+    slots: dict[str, list[_Access]] = {}
+
+    for e in seg.events:
+        if e.kind == "dep_dec":
+            if not (0 <= e.task < n and 0 <= e.target < n):
+                findings.append(
+                    RaceFinding(
+                        code="malformed",
+                        severity=ERROR,
+                        message=(
+                            f"dep_dec {e.task}->{e.target} outside the "
+                            f"{n}-task graph (seq {e.seq})"
+                        ),
+                        graph=seg.label,
+                    )
+                )
+                continue
+            edges.add((e.task, e.target))
+        elif e.kind in ("slot_write", "slot_read", "slot_consume"):
+            if not 0 <= e.task < n:
+                findings.append(
+                    RaceFinding(
+                        code="malformed",
+                        severity=ERROR,
+                        message=(
+                            f"{e.kind} on {e.slot!r} with no owning task "
+                            f"(seq {e.seq})"
+                        ),
+                        graph=seg.label,
+                        slot=e.slot,
+                    )
+                )
+                continue
+            slots.setdefault(e.slot, []).append(
+                _Access(kind=e.kind, task=e.task, seq=e.seq, lo=e.lo, hi=e.hi)
+            )
+
+    reach = _ancestor_bitsets(n, edges, seg.label, findings)
+    if reach is None:
+        return
+
+    for slot in sorted(slots):
+        accesses = sorted(slots[slot], key=lambda a: a.seq)
+        _check_slot(seg, slot, accesses, reach, report)
+
+
+def _check_slot(
+    seg: _Segment,
+    slot: str,
+    accesses: list[_Access],
+    reach: list[int],
+    report: RaceReport,
+) -> None:
+    findings = report.findings
+
+    # -- data races: conflicting pair not ordered by the dep edges -------
+    for i, a in enumerate(accesses):
+        for b in accesses[i + 1:]:
+            if a.task == b.task:
+                continue  # program order within one task body
+            if not (a.mutates() or b.mutates()):
+                continue
+            if not a.overlaps(b):
+                continue
+            report.n_hb_pairs_checked += 1
+            if not _ordered(reach, a.task, b.task):
+                findings.append(
+                    RaceFinding(
+                        code="race",
+                        severity=ERROR,
+                        message=(
+                            f"unordered conflicting accesses: task {a.task} "
+                            f"{a.kind} ({a.span()}, seq {a.seq}) vs task "
+                            f"{b.task} {b.kind} ({b.span()}, seq {b.seq}) — "
+                            "no dependency-edge path orders these tasks"
+                        ),
+                        graph=seg.label,
+                        slot=slot,
+                        tasks=(a.task, b.task),
+                    )
+                )
+
+    writes = [a for a in accesses if a.kind == "slot_write"]
+    consumes = [a for a in accesses if a.kind == "slot_consume"]
+
+    # -- publication discipline -----------------------------------------
+    if len(writes) > 1:
+        findings.append(
+            RaceFinding(
+                code="double-write",
+                severity=ERROR,
+                message=(
+                    f"published {len(writes)} times (by task(s) "
+                    f"{sorted({w.task for w in writes})})"
+                ),
+                graph=seg.label,
+                slot=slot,
+                tasks=tuple(sorted({w.task for w in writes})),
+            )
+        )
+
+    # -- every consume follows its publication in HB order --------------
+    for c in consumes + [a for a in accesses if a.kind == "slot_read"]:
+        covering = [w for w in writes if w.overlaps(c)]
+        verb = "consumed" if c.kind == "slot_consume" else "read"
+        if not covering:
+            findings.append(
+                RaceFinding(
+                    code="missing-write",
+                    severity=ERROR,
+                    message=(
+                        f"task {c.task} {verb} {c.span()} but the slot "
+                        "was never published"
+                    ),
+                    graph=seg.label,
+                    slot=slot,
+                    tasks=(c.task,),
+                )
+            )
+            continue
+        w = covering[0]
+        if c.task != w.task and not bool((reach[c.task] >> w.task) & 1):
+            findings.append(
+                RaceFinding(
+                    code="consume-before-write",
+                    severity=ERROR,
+                    message=(
+                        f"task {c.task} {verb} {c.span()} without a "
+                        f"dependency-edge path from publisher task {w.task}"
+                    ),
+                    graph=seg.label,
+                    slot=slot,
+                    tasks=(w.task, c.task),
+                )
+            )
+
+    # -- conservation: produced exactly once, consumed exactly once -----
+    if seg.aborted:
+        return  # an interrupted run legitimately leaves contributions
+    seen_runs: dict[tuple[int, int], _Access] = {}
+    for c in consumes:
+        run = (c.lo, c.hi)
+        prev = seen_runs.get(run)
+        if prev is not None:
+            findings.append(
+                RaceFinding(
+                    code="double-consume",
+                    severity=ERROR,
+                    message=(
+                        f"{c.span()} consumed twice: by task {prev.task} "
+                        f"(seq {prev.seq}) and task {c.task} (seq {c.seq})"
+                    ),
+                    graph=seg.label,
+                    slot=slot,
+                    tasks=(prev.task, c.task),
+                )
+            )
+        else:
+            seen_runs[run] = c
+    if writes and not consumes:
+        findings.append(
+            RaceFinding(
+                code="unconsumed",
+                severity=ERROR,
+                message=(
+                    f"published by task {writes[0].task} but never consumed"
+                ),
+                graph=seg.label,
+                slot=slot,
+                tasks=(writes[0].task,),
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# public API
+
+
+def check_exec_trace(trace: ExecTrace | Iterable[ExecEvent]) -> RaceReport:
+    """Replay *trace* and report every provable synchronization defect.
+
+    Events are replayed in ``seq`` order. Multiple graph runs in one
+    trace (a solve's forward + backward sweeps) are checked segment by
+    segment.
+    """
+    if isinstance(trace, ExecTrace):
+        events = trace.sorted_events()
+    else:
+        events = sorted(trace, key=lambda e: e.seq)
+    report = RaceReport(n_events=len(events))
+    segments = _split_segments(events, report.findings)
+    report.n_segments = len(segments)
+    for seg in segments:
+        _check_segment(seg, report)
+    return report
+
+
+def verify_exec_trace(trace: ExecTrace | Iterable[ExecEvent]) -> RaceReport:
+    """Like :func:`check_exec_trace` but raises :class:`RaceError` on any
+    error-severity finding; returns the (clean) report otherwise."""
+    report = check_exec_trace(trace)
+    if not report.ok:
+        raise RaceError(report.summary())
+    return report
+
+
+# ---------------------------------------------------------------------------
+# determinism audit
+
+
+def normalize_trace(
+    trace: ExecTrace | Iterable[ExecEvent],
+) -> list[dict[str, object]]:
+    """Canonical schedule-independent form of a trace.
+
+    Two runs of the same task graphs must normalize identically whatever
+    the worker count or interleaving: per segment, the label, task count,
+    the sorted exercised dependency-edge set, and each task's slot access
+    sequence (sorted; program order within one task body is already
+    deterministic). Worker ids, seq stamps, and wall times are dropped.
+    """
+    if isinstance(trace, ExecTrace):
+        events = trace.sorted_events()
+    else:
+        events = sorted(trace, key=lambda e: e.seq)
+    scratch: list[RaceFinding] = []
+    segments = _split_segments(events, scratch)
+    normal: list[dict[str, object]] = []
+    for seg in segments:
+        edges: set[tuple[int, int]] = set()
+        tasks: set[int] = set()
+        slot_ops: dict[int, list[tuple[str, str, int, int]]] = {}
+        for e in seg.events:
+            if e.kind == "dep_dec":
+                edges.add((e.task, e.target))
+            elif e.kind in ("task_start", "task_end", "task_error"):
+                tasks.add(e.task)
+            elif e.kind in ("slot_write", "slot_read", "slot_consume"):
+                slot_ops.setdefault(e.task, []).append(
+                    (e.kind, e.slot, e.lo, e.hi)
+                )
+        normal.append(
+            {
+                "label": seg.label,
+                "n_tasks": seg.n_tasks,
+                "aborted": seg.aborted,
+                "tasks": sorted(tasks),
+                "edges": sorted(edges),
+                "slot_ops": {
+                    t: sorted(ops) for t, ops in sorted(slot_ops.items())
+                },
+            }
+        )
+    return normal
+
+
+def check_determinism(
+    traces: Sequence[ExecTrace | Iterable[ExecEvent]],
+    labels: Sequence[str] | None = None,
+) -> RaceReport:
+    """Audit that every trace in *traces* normalizes identically.
+
+    Pass traces of the same computation taken at different worker counts
+    (or fuzzed schedules); any divergence in task sets, dependency edges,
+    or per-task slot access sequences is a ``nondeterminism`` finding
+    against the first trace (the reference).
+    """
+    report = RaceReport()
+    if len(traces) < 2:
+        return report
+    if labels is None:
+        labels = [f"run{i}" for i in range(len(traces))]
+    ref = normalize_trace(traces[0])
+    for i, other in enumerate(traces[1:], start=1):
+        norm = normalize_trace(other)
+        diff = _describe_divergence(ref, norm)
+        if diff is not None:
+            report.findings.append(
+                RaceFinding(
+                    code="nondeterminism",
+                    severity=ERROR,
+                    message=(
+                        f"{labels[i]} diverges from {labels[0]}: {diff}"
+                    ),
+                )
+            )
+    return report
+
+
+def _describe_divergence(
+    ref: list[dict[str, object]], other: list[dict[str, object]]
+) -> str | None:
+    """First human-readable difference between two normalized traces."""
+    if len(ref) != len(other):
+        return f"{len(other)} graph run(s) vs {len(ref)}"
+    for i, (a, b) in enumerate(zip(ref, other)):
+        for key in ("label", "n_tasks", "aborted", "tasks", "edges"):
+            if a[key] != b[key]:
+                return f"segment {i} ({a['label']}): {key} differ"
+        if a["slot_ops"] != b["slot_ops"]:
+            ops_a: dict = a["slot_ops"]  # type: ignore[assignment]
+            ops_b: dict = b["slot_ops"]  # type: ignore[assignment]
+            for t in sorted(set(ops_a) | set(ops_b)):
+                if ops_a.get(t) != ops_b.get(t):
+                    return (
+                        f"segment {i} ({a['label']}): task {t} slot "
+                        f"accesses differ ({ops_a.get(t)} vs {ops_b.get(t)})"
+                    )
+    return None

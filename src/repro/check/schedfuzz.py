@@ -1,0 +1,307 @@
+"""Seeded adversarial schedule fuzzing of the shared-memory backend.
+
+The bitwise-oracle contract of :mod:`repro.exec` ("any schedule produces
+the sequential bits") is only as strong as the schedules that have been
+tried. This module *manufactures* hostile schedules: a
+:class:`FuzzPlan` plugs into ``TaskPool(fuzz=...)`` and
+
+* **permutes the ready queue** — ``ready_key`` replaces the natural
+  priority key with a pseudo-random one, so heavy-subtree-first order is
+  destroyed and unlikely task interleavings run;
+* **forces preemption points** — ``defer`` makes a worker put a
+  just-popped task back (demoted behind everything currently ready) and
+  pick another, up to a bounded number of times per task;
+* **injects delays** — ``delay`` stalls a task body for up to a few
+  milliseconds before it runs, shifting every downstream completion.
+
+Everything is a pure function of ``(seed, task)`` via a splitmix-style
+integer hash — no global RNG state — so a failing seed replays the same
+perturbation byte-for-byte. The drivers
+(:func:`fuzz_factor` / :func:`fuzz_solve` / :func:`fuzz_smoke`) run the
+threaded backend under each seed with tracing on, then assert the three
+properties that make a schedule trustworthy:
+
+1. the factors/solutions are **bitwise identical** to the sequential
+   oracle;
+2. the recorded trace passes :func:`repro.check.racecheck.check_exec_trace`;
+3. every fuzzed trace **normalizes identically** to the unfuzzed
+   reference (determinism audit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.check.racecheck import (
+    RaceReport,
+    check_determinism,
+    check_exec_trace,
+)
+from repro.exec.factor_exec import multifrontal_factor_threads
+from repro.exec.pool import TaskPool
+from repro.exec.solve_exec import solve_many_threads, solve_threads
+from repro.mf.numeric import NumericFactor, multifrontal_factor
+from repro.mf.solve_phase import solve, solve_many
+from repro.util.errors import RaceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.trace import ExecTrace
+    from repro.symbolic.analyze import SymbolicFactor
+
+__all__ = [
+    "FuzzConfig",
+    "FuzzPlan",
+    "FuzzCaseResult",
+    "fuzz_factor",
+    "fuzz_solve",
+    "fuzz_smoke",
+]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzzed schedule (all deterministic in ``seed``)."""
+
+    seed: int
+    #: replace priority order with a pseudo-random permutation
+    shuffle_priorities: bool = True
+    #: probability a popped task is deferred (per defer decision)
+    defer_prob: float = 0.25
+    #: hard cap on defers per task (the pool must stay live)
+    max_defers: int = 2
+    #: probability a task body gets an injected delay
+    delay_prob: float = 0.3
+    #: longest injected delay in seconds
+    max_delay: float = 0.002
+
+
+def _mix(seed: int, task: int, salt: int) -> int:
+    """Splitmix64-style avalanche of ``(seed, task, salt)`` → 64 bits."""
+    z = (seed * 0x9E3779B97F4A7C15 + task * 0xBF58476D1CE4E5B9 + salt) & _M64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _M64
+    return z ^ (z >> 31)
+
+
+_M64 = (1 << 64) - 1
+_U01 = float(1 << 53)
+
+
+def _unit(seed: int, task: int, salt: int) -> float:
+    """Deterministic uniform in ``[0, 1)`` from the hash."""
+    return (_mix(seed, task, salt) >> 11) / _U01
+
+
+class FuzzPlan:
+    """One seeded schedule perturbation (a ``ScheduleFuzzer``).
+
+    Stateless except for the per-task defer budget, which the pool only
+    touches while holding the run's condition lock (see
+    :class:`repro.exec.pool.ScheduleFuzzer`), so plain dict mutation is
+    safe. A fresh plan should be used per pool run when exact replay
+    matters — the defer budget carries across runs otherwise.
+    """
+
+    def __init__(self, config: FuzzConfig):
+        self.config = config
+        self._defers_left: dict[int, int] = {}
+
+    def ready_key(self, task: int, key: float) -> float:
+        if not self.config.shuffle_priorities:
+            return key
+        return _unit(self.config.seed, task, 1)
+
+    def requeue_key(self, task: int) -> float:
+        # Demote past every pseudo-random ready key so a deferred task
+        # cannot be re-popped ahead of the tasks it was deferred behind.
+        return 2.0 + _unit(self.config.seed, task, 2)
+
+    def defer(self, task: int) -> bool:
+        left = self._defers_left.get(task, self.config.max_defers)
+        if left <= 0:
+            return False
+        if _unit(self.config.seed, task, 3 + left) >= self.config.defer_prob:
+            return False
+        self._defers_left[task] = left - 1
+        return True
+
+    def delay(self, task: int) -> float:
+        if _unit(self.config.seed, task, 4) >= self.config.delay_prob:
+            return 0.0
+        return self.config.max_delay * _unit(self.config.seed, task, 5)
+
+
+@dataclass
+class FuzzCaseResult:
+    """Outcome of one fuzzed schedule."""
+
+    seed: int
+    workers: int
+    label: str
+    bitwise_identical: bool
+    race_report: RaceReport
+    #: empty when the fuzzed trace normalized identically to the reference
+    determinism: RaceReport
+    trace: ExecTrace | None = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.bitwise_identical
+            and self.race_report.ok
+            and self.determinism.ok
+        )
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        bits = "identical" if self.bitwise_identical else "DIVERGED"
+        return (
+            f"seed={self.seed} workers={self.workers} [{self.label}]: "
+            f"{status} (bits {bits}, {len(self.race_report.errors)} race "
+            f"error(s), {len(self.determinism.errors)} determinism "
+            f"error(s))"
+        )
+
+
+def _factors_identical(ref: NumericFactor, got: NumericFactor) -> bool:
+    if len(ref.blocks) != len(got.blocks):
+        return False
+    for a, b in zip(ref.blocks, got.blocks):
+        if a.tobytes() != b.tobytes():
+            return False
+    if (ref.diag is None) != (got.diag is None):
+        return False
+    if ref.diag is not None and got.diag is not None:
+        if ref.diag.tobytes() != got.diag.tobytes():
+            return False
+    return ref.perturbed_columns == got.perturbed_columns
+
+
+def fuzz_factor(
+    sym: SymbolicFactor,
+    seeds: list[int],
+    workers: int = 4,
+    method: str = "cholesky",
+    config: FuzzConfig | None = None,
+    keep_traces: bool = False,
+) -> list[FuzzCaseResult]:
+    """Factor *sym* under every fuzzed schedule in *seeds*; each case is
+    compared bitwise against the sequential oracle, race-checked, and
+    determinism-audited against an unfuzzed traced reference run."""
+    reference = multifrontal_factor(sym, method=method)
+    ref_pool = TaskPool(workers, name="factor", trace=True)
+    multifrontal_factor_threads(sym, method=method, pool=ref_pool)
+    results: list[FuzzCaseResult] = []
+    for seed in seeds:
+        cfg = _seeded(config, seed)
+        pool = TaskPool(
+            workers, name="factor", trace=True, fuzz=FuzzPlan(cfg)
+        )
+        factor = multifrontal_factor_threads(sym, method=method, pool=pool)
+        assert pool.trace is not None
+        results.append(
+            FuzzCaseResult(
+                seed=seed,
+                workers=workers,
+                label=f"factor:{method}",
+                bitwise_identical=_factors_identical(reference, factor),
+                race_report=check_exec_trace(pool.trace),
+                determinism=check_determinism(
+                    [ref_pool.trace, pool.trace],
+                    labels=["reference", f"seed{seed}"],
+                ),
+                trace=pool.trace if keep_traces else None,
+            )
+        )
+    return results
+
+
+def fuzz_solve(
+    factor: NumericFactor,
+    b: np.ndarray,
+    seeds: list[int],
+    workers: int = 4,
+    config: FuzzConfig | None = None,
+    keep_traces: bool = False,
+) -> list[FuzzCaseResult]:
+    """Solve under every fuzzed schedule in *seeds* (vector or panel
+    *b*), with the same three-way verification as :func:`fuzz_factor`."""
+    reference = solve(factor, b) if b.ndim == 1 else solve_many(factor, b)
+    ref_pool = TaskPool(workers, name="solve", trace=True)
+    if b.ndim == 1:
+        solve_threads(factor, b, pool=ref_pool)
+    else:
+        solve_many_threads(factor, b, pool=ref_pool)
+    results: list[FuzzCaseResult] = []
+    for seed in seeds:
+        cfg = _seeded(config, seed)
+        pool = TaskPool(workers, name="solve", trace=True, fuzz=FuzzPlan(cfg))
+        if b.ndim == 1:
+            x = solve_threads(factor, b, pool=pool)
+        else:
+            x = solve_many_threads(factor, b, pool=pool)
+        assert pool.trace is not None
+        results.append(
+            FuzzCaseResult(
+                seed=seed,
+                workers=workers,
+                label=f"solve:rhs{1 if b.ndim == 1 else b.shape[1]}",
+                bitwise_identical=x.tobytes() == reference.tobytes(),
+                race_report=check_exec_trace(pool.trace),
+                determinism=check_determinism(
+                    [ref_pool.trace, pool.trace],
+                    labels=["reference", f"seed{seed}"],
+                ),
+                trace=pool.trace if keep_traces else None,
+            )
+        )
+    return results
+
+
+def fuzz_smoke(
+    sym: SymbolicFactor,
+    n_seeds: int = 25,
+    workers: tuple[int, ...] = (2, 4, 8),
+    method: str = "cholesky",
+    base_seed: int = 0,
+    config: FuzzConfig | None = None,
+) -> list[FuzzCaseResult]:
+    """The CI smoke: *n_seeds* fuzzed factor+solve schedules, cycling the
+    worker counts in *workers*; raises :class:`RaceError` on any failing
+    case (its summary names the replayable seed)."""
+    factor = multifrontal_factor(sym, method=method)
+    rng = np.random.default_rng(base_seed)
+    b = rng.standard_normal(sym.n)
+    results: list[FuzzCaseResult] = []
+    for i in range(n_seeds):
+        seed = base_seed + i
+        w = workers[i % len(workers)]
+        results.extend(
+            fuzz_factor(sym, [seed], workers=w, method=method, config=config)
+        )
+        results.extend(
+            fuzz_solve(factor, b, [seed], workers=w, config=config)
+        )
+    bad = [r for r in results if not r.ok]
+    if bad:
+        raise RaceError(
+            "schedule fuzzing found failing case(s):\n"
+            + "\n".join(r.summary() for r in bad)
+        )
+    return results
+
+
+def _seeded(config: FuzzConfig | None, seed: int) -> FuzzConfig:
+    if config is None:
+        return FuzzConfig(seed=seed)
+    return FuzzConfig(
+        seed=seed,
+        shuffle_priorities=config.shuffle_priorities,
+        defer_prob=config.defer_prob,
+        max_defers=config.max_defers,
+        delay_prob=config.delay_prob,
+        max_delay=config.max_delay,
+    )

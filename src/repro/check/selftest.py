@@ -16,7 +16,9 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.check import commcheck, lint, sanitize
+from repro.check import commcheck, lint, racecheck, schedfuzz
+from repro.check import sanitize
+from repro.exec.trace import ExecTrace
 from repro.simmpi.ledger import MessageLedger
 from repro.simmpi.trace import CommTrace
 from repro.util.errors import InvariantError
@@ -140,6 +142,68 @@ _LINT_CASES: tuple[tuple[str, str, str, str, int], ...] = (
         "        return list(ex.map(str, tasks))\n",
         1,
     ),
+    # Shared-mutable-state discipline in the execution backend…
+    (
+        "RP009",
+        "repro.exec.fixture",
+        "<selftest>",
+        "PENDING = {}\n\n\ndef f(tid):\n    PENDING[tid] = True\n",
+        1,
+    ),
+    (
+        "RP009",
+        "repro.exec.fixture",
+        "<selftest>",
+        "COUNT = 0\n\n\ndef f():\n    global COUNT\n    COUNT += 1\n",
+        1,
+    ),
+    # …while immutable module constants stay fine.
+    (
+        "RP009",
+        "repro.exec.fixture",
+        "<selftest>",
+        "KINDS = ('a', 'b')\nLIMIT = 8\n",
+        0,
+    ),
+    # Lock discipline: bare acquisition, unsanctioned construction…
+    (
+        "RP010",
+        "repro.exec.fixture",
+        "<selftest>",
+        "def f(lock):\n    lock.acquire()\n    try:\n        pass\n"
+        "    finally:\n        lock.release()\n",
+        2,
+    ),
+    (
+        "RP010",
+        "repro.exec.fixture",
+        "<selftest>",
+        "import threading\n\n\ndef f():\n    return threading.Lock()\n",
+        1,
+    ),
+    (
+        "RP010",
+        "repro.service.fixture",
+        "<selftest>",
+        "from threading import Condition\n\n\ndef f():\n    return Condition()\n",
+        1,
+    ),
+    # …while the pool module itself (and make_lock users) stay clean.
+    (
+        "RP010",
+        "repro.exec.pool",
+        "<selftest>",
+        "import threading\n\n\ndef make():\n    return threading.Lock()\n",
+        0,
+    ),
+    (
+        "RP010",
+        "repro.exec.fixture",
+        "<selftest>",
+        "from repro.exec.pool import make_lock\n\n\n"
+        "def f():\n    lock = make_lock()\n    with lock:\n        pass\n",
+        0,
+    ),
 )
 
 _CLEAN_SOURCE = (
@@ -152,6 +216,26 @@ _CLEAN_SOURCE = (
 )
 
 _SUPPRESSED_SOURCE = "def f(x):\n    print(x)  # repro: noqa[RP004]\n"
+
+#: one line violating RP004 *and* RP007, suppressed by a comma-separated
+#: rule list (with a space after the comma, the common hand-written form)
+_COMMA_SUPPRESSED_SOURCE = (
+    "from time import perf_counter\n\n\n"
+    "def f(x):\n"
+    "    print(x, perf_counter())  # repro: noqa[RP004, RP007]\n"
+)
+
+#: same two violations, but the list names only one of them
+_PARTIAL_SUPPRESSED_SOURCE = (
+    "from time import perf_counter\n\n\n"
+    "def f(x):\n"
+    "    print(x, perf_counter())  # repro: noqa[RP004]\n"
+)
+
+#: malformed bracket contents must suppress nothing (historically the
+#: bracket group failed to match and the bare-noqa fallback suppressed
+#: every rule on the line)
+_MALFORMED_NOQA_SOURCE = "def f(x):\n    print(x)  # repro: noqa[bogus!]\n"
 
 
 def _lint_results() -> list[SelfTestResult]:
@@ -186,6 +270,38 @@ def _lint_results() -> list[SelfTestResult]:
             name="lint honors inline noqa suppression",
             passed=not suppressed,
             detail="; ".join(f.format() for f in suppressed),
+        )
+    )
+    comma = lint.lint_source(
+        _COMMA_SUPPRESSED_SOURCE, path="<selftest>", module="repro.mf.fixture"
+    )
+    results.append(
+        SelfTestResult(
+            name="lint honors comma-separated noqa rule list",
+            passed=not comma,
+            detail="; ".join(f.format() for f in comma),
+        )
+    )
+    partial = lint.lint_source(
+        _PARTIAL_SUPPRESSED_SOURCE,
+        path="<selftest>",
+        module="repro.mf.fixture",
+    )
+    results.append(
+        SelfTestResult(
+            name="lint noqa list suppresses only the named rules",
+            passed=[f.rule for f in partial] == ["RP007"],
+            detail="; ".join(f.format() for f in partial) or "nothing fired",
+        )
+    )
+    malformed = lint.lint_source(
+        _MALFORMED_NOQA_SOURCE, path="<selftest>", module="repro.mf.fixture"
+    )
+    results.append(
+        SelfTestResult(
+            name="lint malformed noqa brackets suppress nothing",
+            passed=[f.rule for f in malformed] == ["RP004"],
+            detail="; ".join(f.format() for f in malformed) or "nothing fired",
         )
     )
     return results
@@ -272,6 +388,161 @@ def _commcheck_results() -> list[SelfTestResult]:
     return results
 
 
+# -- racecheck fixtures ------------------------------------------------------
+
+
+def _clean_exec_trace() -> ExecTrace:
+    """Two tasks: 0 publishes, the dep edge orders 1's consume after."""
+    t = ExecTrace()
+    t.add("graph_begin", target=2, label="fix")
+    t.add("task_start", task=0, worker=0)
+    t.add("slot_write", task=0, slot="upd:0")
+    t.add("task_end", task=0, worker=0)
+    t.add("dep_dec", task=0, target=1, remaining=0)
+    t.add("task_start", task=1, worker=1)
+    t.add("slot_consume", task=1, slot="upd:0")
+    t.add("task_end", task=1, worker=1)
+    t.add("graph_end", target=2, label="fix")
+    return t
+
+
+def _dropped_edge_trace() -> ExecTrace:
+    """The clean trace minus its dependency edge: the write/consume pair
+    is no longer ordered — exactly what a missed dep-count edge in the
+    pool would record."""
+    t = ExecTrace()
+    t.add("graph_begin", target=2, label="fix")
+    t.add("task_start", task=0, worker=0)
+    t.add("slot_write", task=0, slot="upd:0")
+    t.add("task_end", task=0, worker=0)
+    t.add("task_start", task=1, worker=1)
+    t.add("slot_consume", task=1, slot="upd:0")
+    t.add("task_end", task=1, worker=1)
+    t.add("graph_end", target=2, label="fix")
+    return t
+
+
+def _double_consume_trace() -> ExecTrace:
+    """Chain 0→1→2 (every access HB-ordered, so no race) but tasks 1 and
+    2 both consume task 0's contribution: pure conservation violation."""
+    t = ExecTrace()
+    t.add("graph_begin", target=3, label="fix")
+    t.add("task_start", task=0, worker=0)
+    t.add("slot_write", task=0, slot="upd:0")
+    t.add("task_end", task=0, worker=0)
+    t.add("dep_dec", task=0, target=1, remaining=0)
+    t.add("task_start", task=1, worker=0)
+    t.add("slot_consume", task=1, slot="upd:0")
+    t.add("task_end", task=1, worker=0)
+    t.add("dep_dec", task=1, target=2, remaining=0)
+    t.add("task_start", task=2, worker=0)
+    t.add("slot_consume", task=2, slot="upd:0")
+    t.add("task_end", task=2, worker=0)
+    t.add("graph_end", target=3, label="fix")
+    return t
+
+
+def _unconsumed_trace() -> ExecTrace:
+    """A published contribution nobody consumes."""
+    t = ExecTrace()
+    t.add("graph_begin", target=2, label="fix")
+    t.add("task_start", task=0, worker=0)
+    t.add("slot_write", task=0, slot="upd:0")
+    t.add("task_end", task=0, worker=0)
+    t.add("dep_dec", task=0, target=1, remaining=0)
+    t.add("task_start", task=1, worker=0)
+    t.add("task_end", task=1, worker=0)
+    t.add("graph_end", target=2, label="fix")
+    return t
+
+
+def _racecheck_results() -> list[SelfTestResult]:
+    cases: tuple[tuple[str, ExecTrace, str], ...] = (
+        ("dropped dependency edge", _dropped_edge_trace(), "race"),
+        ("double-consumed contribution", _double_consume_trace(), "double-consume"),
+        ("unconsumed contribution", _unconsumed_trace(), "unconsumed"),
+    )
+    results = []
+    for name, trace, code in cases:
+        report = racecheck.check_exec_trace(trace)
+        caught = any(f.code == code for f in report.errors)
+        results.append(
+            SelfTestResult(
+                name=f"racecheck flags {name}",
+                passed=caught and not report.ok,
+                detail=report.summary(),
+            )
+        )
+    clean = racecheck.check_exec_trace(_clean_exec_trace())
+    results.append(
+        SelfTestResult(
+            name="racecheck passes clean trace",
+            passed=clean.ok and not clean.findings,
+            detail=clean.summary(),
+        )
+    )
+    det = racecheck.check_determinism(
+        [_clean_exec_trace(), _dropped_edge_trace()], labels=["ref", "dropped"]
+    )
+    results.append(
+        SelfTestResult(
+            name="racecheck determinism audit flags diverging traces",
+            passed=any(f.code == "nondeterminism" for f in det.errors),
+            detail=det.summary(),
+        )
+    )
+    same = racecheck.check_determinism(
+        [_clean_exec_trace(), _clean_exec_trace()], labels=["a", "b"]
+    )
+    results.append(
+        SelfTestResult(
+            name="racecheck determinism audit passes identical traces",
+            passed=same.ok and not same.findings,
+            detail=same.summary(),
+        )
+    )
+    return results
+
+
+# -- schedfuzz fixtures ------------------------------------------------------
+
+
+def _schedfuzz_results() -> list[SelfTestResult]:
+    """The fuzzer's replayability contract: same seed → same perturbation
+    (and different seeds actually perturb differently)."""
+    results = []
+    cfg = schedfuzz.FuzzConfig(seed=42)
+    a, b = schedfuzz.FuzzPlan(cfg), schedfuzz.FuzzPlan(cfg)
+    tasks = range(64)
+    same = all(
+        a.ready_key(t, -1.0) == b.ready_key(t, -1.0)
+        and a.requeue_key(t) == b.requeue_key(t)
+        and a.delay(t) == b.delay(t)
+        for t in tasks
+    )
+    results.append(
+        SelfTestResult(name="schedfuzz same seed replays identically", passed=same)
+    )
+    other = schedfuzz.FuzzPlan(schedfuzz.FuzzConfig(seed=43))
+    differs = any(
+        a.ready_key(t, -1.0) != other.ready_key(t, -1.0) for t in tasks
+    )
+    results.append(
+        SelfTestResult(name="schedfuzz seeds differ", passed=differs)
+    )
+    # The defer budget is bounded: a task can never be deferred forever.
+    plan = schedfuzz.FuzzPlan(schedfuzz.FuzzConfig(seed=7, defer_prob=1.0))
+    defers = sum(1 for _ in range(100) if plan.defer(5))
+    results.append(
+        SelfTestResult(
+            name="schedfuzz defer budget is bounded",
+            passed=defers == cfg.max_defers,
+            detail=f"{defers} defers granted",
+        )
+    )
+    return results
+
+
 # -- sanitizer fixtures ------------------------------------------------------
 
 
@@ -346,4 +617,10 @@ def _sanitize_results() -> list[SelfTestResult]:
 
 def run_self_test() -> list[SelfTestResult]:
     """Run all embedded self-tests; the caller decides how to report."""
-    return _lint_results() + _commcheck_results() + _sanitize_results()
+    return (
+        _lint_results()
+        + _commcheck_results()
+        + _racecheck_results()
+        + _schedfuzz_results()
+        + _sanitize_results()
+    )

@@ -10,7 +10,9 @@ Subcommands mirror the workflow of the library:
 * ``serve-sim``— replay a synthetic transient-FE request trace through the
   serving layer (``repro.service``) and print its metrics report;
 * ``check``    — correctness tooling (``repro.check``): project lint,
-  comm-trace race/deadlock analysis, and the checker self-test;
+  comm-trace race/deadlock analysis, happens-before race checking and
+  seeded schedule fuzzing of the threaded backend, and the checker
+  self-test;
 * ``obs``      — observability run (``repro.obs``): solve + simulate one
   problem under span recording, print phase/metrics/hot-front reports,
   and export a merged Chrome trace (``--trace-out``).
@@ -44,7 +46,7 @@ from repro.sparse.csc import CSCMatrix
 from repro.sparse.convert import coo_to_csc
 from repro.sparse.io_mm import read_matrix_market
 from repro.sparse.ops import tril
-from repro.util.errors import ReproError, ShapeError
+from repro.util.errors import RaceError, ReproError, ShapeError
 from repro.util.rng import make_rng
 from repro.util.tables import format_table
 
@@ -314,12 +316,18 @@ def cmd_check(args) -> int:
 
     Without mode flags, ``--lint`` is implied. ``--comm`` replays a JSONL
     comm trace; ``--comm-sim MESH:SIZE:RANKS`` records a fresh strong-
-    scaling factorization trace and checks it end to end.
+    scaling factorization trace and checks it end to end; ``--race
+    MESH:SIZE:WORKERS`` runs a traced threaded factor+solve through the
+    happens-before checker plus a determinism audit against a one-worker
+    run; ``--sched-fuzz N`` adds N seeded adversarial schedules.
     """
     from repro.check import commcheck, lint, selftest
     from repro.simmpi.trace import CommTrace
 
-    do_lint = args.lint or not (args.comm or args.comm_sim or args.self_test)
+    do_lint = args.lint or not (
+        args.comm or args.comm_sim or args.self_test or args.race
+        or args.sched_fuzz
+    )
     failed = False
 
     if do_lint:
@@ -366,6 +374,77 @@ def cmd_check(args) -> int:
             fres.sim.trace.comm.dump(args.dump_trace)
             print(f"trace written to {args.dump_trace}")
         failed |= not report.ok
+
+    if args.race or args.sched_fuzz:
+        from repro.check import racecheck, schedfuzz
+        from repro.exec import TaskPool
+        from repro.exec.factor_exec import multifrontal_factor_threads
+        from repro.exec.solve_exec import solve_threads
+
+        spec = args.race or "cube:8:4"
+        try:
+            kind, size_s, workers_s = spec.split(":")
+            size, workers = int(size_s), int(workers_s)
+        except ValueError:
+            raise ShapeError(
+                f"--race must look like cube:8:4; got {spec!r}"
+            ) from None
+        args.mesh = f"{kind}:{size}"
+        a = build_matrix(args)
+        solver = SparseSolver(a, method=args.method, ordering=args.ordering)
+        solver.analyze()
+        sym = solver.sym
+        b = np.arange(1.0, sym.n + 1.0)
+
+        if args.race:
+            traces = []
+            for w in (workers, 1):
+                pool = TaskPool(w, name="factor", trace=True)
+                factor = multifrontal_factor_threads(
+                    sym, method=args.method, pool=pool
+                )
+                spool = TaskPool(w, name="solve", trace=pool.trace)
+                solve_threads(factor, b, pool=spool)
+                traces.append(pool.trace)
+            report = racecheck.check_exec_trace(traces[0])
+            print(f"race {kind}:{size} on {workers} worker(s):")
+            print(report.summary())
+            det = racecheck.check_determinism(
+                traces, labels=[f"workers={workers}", "workers=1"]
+            )
+            if det.findings:
+                print(det.summary())
+            else:
+                print(
+                    f"determinism: workers={workers} and workers=1 traces "
+                    "normalize identically"
+                )
+            if args.dump_trace:
+                traces[0].dump(args.dump_trace)
+                print(f"exec trace written to {args.dump_trace}")
+            failed |= not report.ok or not det.ok
+
+        if args.sched_fuzz:
+            fuzz_workers = tuple(
+                int(w) for w in args.fuzz_workers.split(",") if w
+            )
+            try:
+                results = schedfuzz.fuzz_smoke(
+                    sym,
+                    n_seeds=args.sched_fuzz,
+                    workers=fuzz_workers,
+                    method=args.method,
+                )
+            except RaceError as exc:
+                print(f"sched-fuzz: FAIL\n{exc}")
+                failed = True
+            else:
+                print(
+                    f"sched-fuzz {kind}:{size}: {len(results)} fuzzed "
+                    f"schedule(s) over {args.sched_fuzz} seed(s) x workers "
+                    f"{list(fuzz_workers)}: all bitwise-identical, zero "
+                    "races"
+                )
 
     if args.self_test:
         results = selftest.run_self_test()
@@ -563,7 +642,8 @@ def make_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "check",
-        help="static analysis, comm-trace checking, and checker self-test",
+        help="static analysis, comm/exec race checking, schedule fuzzing, "
+        "and checker self-test",
     )
     p.add_argument(
         "paths",
@@ -584,7 +664,26 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--dump-trace",
         metavar="FILE",
-        help="with --comm-sim: also write the comm trace as JSONL",
+        help="with --comm-sim/--race: also write the recorded trace as JSONL",
+    )
+    p.add_argument(
+        "--race",
+        metavar="MESH:SIZE:WORKERS",
+        help="traced threaded factor+solve (e.g. cube:8:4) through the "
+        "happens-before race checker + determinism audit vs workers=1",
+    )
+    p.add_argument(
+        "--sched-fuzz",
+        type=int,
+        metavar="N",
+        help="run N seeded adversarial schedules (with --race's mesh, or "
+        "cube:8 by default) asserting bitwise identity and zero races",
+    )
+    p.add_argument(
+        "--fuzz-workers",
+        default="2,4",
+        metavar="W1,W2,...",
+        help="worker counts the schedule fuzzer cycles through (default 2,4)",
     )
     p.add_argument(
         "--self-test",

@@ -13,7 +13,12 @@ Layout
     deterministic forward-solve contribution routing.
 ``pool``
     The dependency-counting worker pool — the only module in the library
-    allowed to use raw thread primitives (lint rule RP008).
+    allowed to use raw thread primitives (lint rules RP008/RP010); other
+    exec modules obtain mutexes through :func:`make_lock`.
+``trace``
+    The access/event trace (:class:`ExecTrace`) the pool and drivers
+    record for :mod:`repro.check.racecheck` when tracing is on
+    (``TaskPool(trace=True)`` or ``REPRO_CHECK=1``).
 ``factor_exec``
     :func:`multifrontal_factor_threads`, the threaded numeric phase.
 ``solve_exec``
@@ -25,8 +30,16 @@ with ``backend="threads"`` rather than these functions directly.
 """
 
 from repro.exec.factor_exec import multifrontal_factor_threads
-from repro.exec.pool import MAX_DEFAULT_WORKERS, PoolStats, TaskPool, default_workers
+from repro.exec.pool import (
+    MAX_DEFAULT_WORKERS,
+    PoolStats,
+    ScheduleFuzzer,
+    TaskPool,
+    default_workers,
+    make_lock,
+)
 from repro.exec.solve_exec import solve_many_threads, solve_threads
+from repro.exec.trace import EXEC_EVENT_KINDS, ExecEvent, ExecTrace
 from repro.exec.tasks import (
     ContributionPlan,
     TaskGraph,
@@ -42,8 +55,13 @@ __all__ = [
     "solve_many_threads",
     "TaskPool",
     "PoolStats",
+    "ScheduleFuzzer",
     "default_workers",
+    "make_lock",
     "MAX_DEFAULT_WORKERS",
+    "ExecTrace",
+    "ExecEvent",
+    "EXEC_EVENT_KINDS",
     "TaskGraph",
     "ContributionPlan",
     "factor_task_graph",

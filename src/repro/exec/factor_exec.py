@@ -31,12 +31,11 @@ timelines) is exempt from the contract; all numeric outputs (``blocks``,
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.exec.pool import PoolStats, TaskPool, default_workers
+from repro.exec.pool import PoolStats, TaskPool, default_workers, make_lock
 from repro.exec.tasks import factor_task_graph
 from repro.mf.accounting import FactorStats
 from repro.mf.numeric import NumericFactor, factor_front
@@ -59,6 +58,7 @@ def multifrontal_factor_threads(
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
     precision: str = "fp64",
+    pool: TaskPool | None = None,
 ) -> NumericFactor:
     """Numeric factorization of *sym* on a pool of worker threads.
 
@@ -66,13 +66,17 @@ def multifrontal_factor_threads(
     contract as :func:`repro.mf.numeric.multifrontal_factor` and returns
     a bitwise identical factor (see the module docstring). *workers*
     defaults to :func:`repro.exec.pool.default_workers`; *registry*
-    receives the pool's queue/latency telemetry when provided.
+    receives the pool's queue/latency telemetry when provided. *pool*
+    substitutes a pre-configured :class:`TaskPool` (tracing, schedule
+    fuzzing) for the default one; it overrides *workers*.
     """
     if method not in ("cholesky", "ldlt"):
         raise ShapeError(f"unknown factorization method {method!r}")
     if pivot_perturbation is not None and method != "ldlt":
         raise ShapeError("pivot_perturbation applies to method='ldlt' only")
-    if workers is None:
+    if pool is not None:
+        workers = pool.workers
+    elif workers is None:
         workers = default_workers()
     a = sym.permuted_lower
     perturb_abs = None
@@ -93,8 +97,12 @@ def multifrontal_factor_threads(
 
     # Resident update-entry accounting (telemetry only — the value is
     # schedule-dependent, unlike everything numeric).
-    acct_lock = threading.Lock()
+    acct_lock = make_lock()
     resident = {"entries": 0, "peak": 0}
+
+    if pool is None:
+        pool = TaskPool(workers, name="factor")
+    tr = pool.trace
 
     def run_task(s: int) -> None:
         w = sym.supernode_width(s)
@@ -108,6 +116,8 @@ def multifrontal_factor_threads(
                     f"supernode {s}: child {c} finished without publishing "
                     "its update matrix"
                 )
+            if tr is not None:
+                tr.add("slot_consume", task=s, slot=f"upd:{c}")
             updates[c] = None
             freed += u[0].size
             kids.append(u)
@@ -119,6 +129,8 @@ def multifrontal_factor_threads(
         if d is not None:
             diag[c0: c0 + w] = d
         updates[s] = update
+        if update is not None and tr is not None:
+            tr.add("slot_write", task=s, slot=f"upd:{s}")
         per_flops[s] = fflops
         grown = 0 if update is None else update[0].size
         with acct_lock:
@@ -127,7 +139,6 @@ def multifrontal_factor_threads(
                 resident["peak"] = resident["entries"]
 
     graph = factor_task_graph(sym)
-    pool = TaskPool(workers, name="factor")
     with span(
         "exec.factor",
         method=method,

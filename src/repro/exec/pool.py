@@ -31,6 +31,26 @@ Observability: when a span recorder is installed, every task's
 rows in the Chrome trace); :meth:`PoolStats.publish` exports the queue
 depth high-water mark, task count, and task-latency histogram into a
 :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Verification hooks (the racecheck/schedfuzz layer):
+
+* ``TaskPool(trace=True)`` — or any pool when ``REPRO_CHECK=1`` — records
+  an :class:`~repro.exec.trace.ExecTrace` of every synchronization event
+  (graph boundaries, task start/finish, dependency-count decrements, and
+  the slot accesses the factor/solve drivers emit).
+  :mod:`repro.check.racecheck` replays it through a happens-before
+  engine; when a span recorder is also installed the events are copied
+  into ``recorder.exec_trace_events`` for the Chrome timeline.
+* ``TaskPool(fuzz=...)`` accepts a :class:`ScheduleFuzzer` (see
+  :mod:`repro.check.schedfuzz`) that adversarially permutes the ready
+  queue (``ready_key``), forces preemption points (``defer`` re-queues a
+  popped task), and injects task delays — all deterministically from a
+  seed, so failing schedules replay byte-for-byte.
+
+Lock discipline (lint rule RP010): this module is the only place thread
+primitives may be *constructed*; everything else obtains them through
+:func:`make_lock`. All acquisition is ``with``-statement scoped — no bare
+``acquire``/``release`` anywhere in the library.
 """
 
 from __future__ import annotations
@@ -38,18 +58,69 @@ from __future__ import annotations
 import heapq
 import os
 import threading
+import time
+from contextlib import AbstractContextManager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.exec.tasks import TaskGraph
+from repro.exec.trace import ExecTrace
 from repro.obs.profile import FrontProfile
 from repro.obs.spans import ExecTaskEvent, current_recorder
 from repro.util.errors import ExecBackendError
+from repro.util.validation import runtime_checks_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["TaskPool", "PoolStats", "default_workers"]
+__all__ = [
+    "TaskPool",
+    "PoolStats",
+    "ScheduleFuzzer",
+    "default_workers",
+    "make_lock",
+]
+
+
+def make_lock() -> AbstractContextManager[bool]:
+    """The sanctioned mutex constructor for the execution backend.
+
+    Task bodies that need a private mutex (e.g. the factor driver's
+    telemetry accounting) obtain it here instead of touching
+    ``threading`` directly, keeping every thread primitive construction
+    in this one audited module (lint rule RP010). The returned lock is
+    used in ``with`` statements only.
+    """
+    return threading.Lock()
+
+
+class ScheduleFuzzer(Protocol):
+    """Adversarial schedule perturbation driven by the pool.
+
+    Implementations must be deterministic functions of (seed, task) — the
+    pool may call them from any worker; ``defer`` is always invoked while
+    holding the run's condition lock, so bounded internal state is safe
+    there. See :class:`repro.check.schedfuzz.FuzzPlan`.
+    """
+
+    def ready_key(self, task: int, key: float) -> float:
+        """Heap key for a task entering the ready queue (lower pops
+        first); *key* is the pool's natural priority key."""
+        ...
+
+    def requeue_key(self, task: int) -> float:
+        """Heap key for a task re-queued by a forced preemption."""
+        ...
+
+    def defer(self, task: int) -> bool:
+        """True to push the just-popped *task* back and pick another
+        (called only when other ready tasks exist; must eventually
+        return False for every task)."""
+        ...
+
+    def delay(self, task: int) -> float:
+        """Seconds to sleep before running *task*'s body (0 = none)."""
+        ...
 
 #: cap on the automatic worker count (diminishing returns past this for
 #: GIL-sharing Python task bookkeeping, however many cores the host has)
@@ -88,12 +159,13 @@ class PoolStats:
 class _RunState:
     """Shared mutable state of one pool run (guarded by ``cond``)."""
 
-    def __init__(self, graph: TaskGraph) -> None:
+    def __init__(self, graph: TaskGraph, fuzz: ScheduleFuzzer | None) -> None:
         self.graph = graph
+        self.fuzz = fuzz
         self.cond = threading.Condition()
         self.n_deps_left = [int(d) for d in graph.n_deps]
         self.ready: list[tuple[float, int]] = [
-            (-float(graph.priority[t]), t) for t in graph.roots()
+            (self.heap_key(t), t) for t in graph.roots()
         ]
         heapq.heapify(self.ready)
         self.active = 0
@@ -103,6 +175,14 @@ class _RunState:
         self.error: BaseException | None = None
         self.max_queue_depth = len(self.ready)
 
+    def heap_key(self, task: int) -> float:
+        """Ready-heap key of *task*: the negated priority (heavy subtrees
+        pop first), optionally permuted by the schedule fuzzer."""
+        key = -float(self.graph.priority[task])
+        if self.fuzz is not None:
+            key = self.fuzz.ready_key(task, key)
+        return key
+
 
 class TaskPool:
     """A pool of worker threads executing dependency-counted task graphs.
@@ -110,15 +190,34 @@ class TaskPool:
     One pool may run several graphs sequentially (the solve path runs the
     forward and backward graphs back to back); a run in progress cannot
     overlap another. After :meth:`cancel` the pool is shut down for good.
+
+    *trace* controls event recording: ``True`` (or leaving the default
+    ``None`` with ``REPRO_CHECK=1``) records into a fresh
+    :class:`~repro.exec.trace.ExecTrace` on ``self.trace``; an existing
+    :class:`ExecTrace` instance appends to it; ``False`` disables even
+    under ``REPRO_CHECK``. *fuzz* installs a :class:`ScheduleFuzzer`.
     """
 
-    def __init__(self, workers: int, name: str = "exec"):
+    def __init__(
+        self,
+        workers: int,
+        name: str = "exec",
+        trace: bool | ExecTrace | None = None,
+        fuzz: ScheduleFuzzer | None = None,
+    ):
         if not isinstance(workers, int) or workers < 1:
             raise ExecBackendError(
                 f"worker count must be a positive integer; got {workers!r}"
             )
         self.workers = workers
         self.name = name
+        self.trace: ExecTrace | None
+        if isinstance(trace, ExecTrace):
+            self.trace = trace
+        else:
+            enabled = runtime_checks_enabled() if trace is None else bool(trace)
+            self.trace = ExecTrace() if enabled else None
+        self.fuzz = fuzz
         self._lock = threading.Lock()
         self._cancelled = False
         self._state: _RunState | None = None
@@ -163,10 +262,14 @@ class TaskPool:
                 raise ExecBackendError(f"{self.name} pool is shut down")
             if self._state is not None:
                 raise ExecBackendError(f"{self.name} pool is already running")
-            state = _RunState(graph)
+            state = _RunState(graph, self.fuzz)
             self._state = state
 
         recorder = current_recorder()
+        tr = self.trace
+        run_start = len(tr.events) if tr is not None else 0
+        if tr is not None:
+            tr.add("graph_begin", target=graph.n_tasks, label=graph.label)
         timed = recorder is not None or registry is not None
         clock = FrontProfile.clock
         # Per-worker event/latency lists: written lock-free by exactly one
@@ -189,6 +292,20 @@ class TaskPool:
         finally:
             with self._lock:
                 self._state = None
+
+        if tr is not None:
+            aborted = (
+                state.error is not None
+                or state.cancelled
+                or state.completed != graph.n_tasks
+            )
+            tr.add(
+                "graph_abort" if aborted else "graph_end",
+                target=state.completed,
+                label=graph.label,
+            )
+            if recorder is not None:
+                recorder.exec_trace_events.extend(tr.events[run_start:])
 
         if state.error is not None:
             raise state.error
@@ -231,12 +348,28 @@ class TaskPool:
         lane: list[ExecTaskEvent],
     ) -> None:
         graph = state.graph
+        trace = self.trace
+        fuzz = state.fuzz
+        if trace is not None:
+            trace.set_worker(wid)
         while True:
             with state.cond:
                 while True:
                     if state.stop:
                         return
                     if state.ready:
+                        _, tid = heapq.heappop(state.ready)
+                        if (
+                            fuzz is not None
+                            and state.ready
+                            and fuzz.defer(tid)
+                        ):
+                            # Forced preemption point: push the popped task
+                            # back (demoted) and pick another.
+                            heapq.heappush(
+                                state.ready, (fuzz.requeue_key(tid), tid)
+                            )
+                            continue
                         break
                     if state.active == 0:
                         # Nothing running, nothing ready, work remaining:
@@ -251,15 +384,22 @@ class TaskPool:
                         state.cond.notify_all()
                         return
                     state.cond.wait()
-                _, tid = heapq.heappop(state.ready)
                 state.active += 1
 
+            if fuzz is not None:
+                pause = fuzz.delay(tid)
+                if pause > 0.0:
+                    time.sleep(pause)
+            if trace is not None:
+                trace.add("task_start", task=tid)
             t0 = clock() if timed else 0.0
             try:
                 run_task(tid)
             # The catch-all is the capture half of cross-thread propagation:
             # run() re-raises state.error verbatim on the calling thread.
             except BaseException as exc:  # repro: noqa[RP001]
+                if trace is not None:
+                    trace.add("task_error", task=tid)
                 with state.cond:
                     if state.error is None:
                         state.error = exc
@@ -268,6 +408,8 @@ class TaskPool:
                     state.ready.clear()
                     state.cond.notify_all()
                 return
+            if trace is not None:
+                trace.add("task_end", task=tid)
             if timed:
                 lane.append(
                     ExecTaskEvent(
@@ -283,10 +425,15 @@ class TaskPool:
                 state.completed += 1
                 for d in graph.dependents[tid]:
                     state.n_deps_left[d] -= 1
-                    if state.n_deps_left[d] == 0:
-                        heapq.heappush(
-                            state.ready, (-float(graph.priority[d]), d)
+                    if trace is not None:
+                        trace.add(
+                            "dep_dec",
+                            task=tid,
+                            target=d,
+                            remaining=state.n_deps_left[d],
                         )
+                    if state.n_deps_left[d] == 0:
+                        heapq.heappush(state.ready, (state.heap_key(d), d))
                         state.cond.notify()
                 if len(state.ready) > state.max_queue_depth:
                     state.max_queue_depth = len(state.ready)

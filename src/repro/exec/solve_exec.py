@@ -56,16 +56,19 @@ def solve_threads(
     b: np.ndarray,
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
+    pool: TaskPool | None = None,
 ) -> np.ndarray:
     """Solve ``A x = b`` for one right-hand side on worker threads.
 
-    Bitwise identical to :func:`repro.mf.solve_phase.solve`.
+    Bitwise identical to :func:`repro.mf.solve_phase.solve`. *pool*
+    substitutes a pre-configured :class:`TaskPool` (tracing, schedule
+    fuzzing); it overrides *workers*.
     """
     b = as_float_array(b, "b")
     n = factor.n
     if b.shape != (n,):
         raise ShapeError(f"b must have shape ({n},); got {b.shape}")
-    return _solve_permuted(factor, b, workers, registry)
+    return _solve_permuted(factor, b, workers, registry, pool)
 
 
 def solve_many_threads(
@@ -73,6 +76,7 @@ def solve_many_threads(
     b: np.ndarray,
     workers: int | None = None,
     registry: MetricsRegistry | None = None,
+    pool: TaskPool | None = None,
 ) -> np.ndarray:
     """Blocked multi-RHS solve on worker threads.
 
@@ -83,13 +87,13 @@ def solve_many_threads(
     """
     b = as_float_array(b, "b")
     if b.ndim == 1:
-        return solve_threads(factor, b, workers, registry)
+        return solve_threads(factor, b, workers, registry, pool)
     n = factor.n
     if b.ndim != 2 or b.shape[0] != n:
         raise ShapeError(f"b must have shape ({n},) or ({n}, k); got {b.shape}")
     if b.shape[1] == 1:
-        return solve_threads(factor, b[:, 0], workers, registry)[:, None]
-    return _solve_permuted(factor, b, workers, registry)
+        return solve_threads(factor, b[:, 0], workers, registry, pool)[:, None]
+    return _solve_permuted(factor, b, workers, registry, pool)
 
 
 def _solve_permuted(
@@ -97,13 +101,17 @@ def _solve_permuted(
     b: np.ndarray,
     workers: int | None,
     registry: MetricsRegistry | None,
+    pool: TaskPool | None = None,
 ) -> np.ndarray:
     """Permute → threaded forward → scale → threaded backward → unpermute."""
-    if workers is None:
+    if pool is not None:
+        workers = pool.workers
+    elif workers is None:
         workers = default_workers()
     sym = factor.sym
     rhs = 1 if b.ndim == 1 else int(b.shape[1])
-    pool = TaskPool(workers, name="solve")
+    if pool is None:
+        pool = TaskPool(workers, name="solve")
     with span(
         "exec.solve",
         n=factor.n,
@@ -134,6 +142,7 @@ def _forward_threads(
     """Task-parallel forward substitution ``y <- L^{-1} y`` in place."""
     sym = factor.sym
     plan = forward_contributions(sym)
+    tr = pool.trace
     #: published update panels, consumed by ancestor-owner tasks
     upd_store: list[np.ndarray | None] = [None] * sym.n_supernodes
 
@@ -142,11 +151,15 @@ def _forward_threads(
         # rows first, ascending by source — the sequential subtraction
         # order for these elements.
         for src, lo, hi in plan.incoming[s]:
+            if tr is not None:
+                tr.add("slot_consume", task=s, slot=f"fwd:{src}", lo=lo, hi=hi)
             u = upd_store[src]
             srows = sym.sn_rows[src]
             wsrc = sym.supernode_width(src)
             y[srows[wsrc + lo: wsrc + hi]] -= u[lo:hi]
         upd_store[s] = forward_front(factor, s, y)
+        if plan.outgoing[s] and tr is not None:
+            tr.add("slot_write", task=s, slot=f"fwd:{s}")
 
     pool.run(forward_solve_task_graph(sym), run_task, registry=registry)
 

@@ -82,3 +82,11 @@ class ExecBackendError(ReproError, RuntimeError):
 class LintError(ReproError, ValueError):
     """Static analysis (``repro.check.lint``) could not process an input
     (unreadable file, syntax error in a linted source)."""
+
+
+class RaceError(ReproError, RuntimeError):
+    """The happens-before checker (``repro.check.racecheck``) found a
+    synchronization defect in an execution trace: two conflicting shared
+    slot accesses not ordered by the exercised dependency edges, a
+    contribution produced or consumed other than exactly once, or a
+    determinism violation between runs."""

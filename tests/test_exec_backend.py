@@ -244,6 +244,72 @@ def test_pool_cancel_from_task():
     assert pool.cancelled
 
 
+def test_pool_cancel_races_inflight_completion():
+    # cancel() while a task body is mid-flight: the straggler finishes
+    # *after* the shutdown, its completion bookkeeping must not resurrect
+    # the run, and run() still reports the cancellation.
+    import threading
+
+    pool = TaskPool(2)
+    release = threading.Event()
+    started = threading.Event()
+
+    def body(t):
+        if t == 0:
+            started.set()
+            assert release.wait(timeout=10)
+
+    outcome = []
+
+    def runner():
+        try:
+            pool.run(_chain_graph(40), body)
+            outcome.append(None)
+        except ExecBackendError as exc:
+            outcome.append(exc)
+
+    th = threading.Thread(target=runner)
+    th.start()
+    assert started.wait(timeout=10)
+    pool.cancel()  # task 0 is still in flight right now
+    release.set()  # ... and only completes after the shutdown
+    th.join(timeout=10)
+    assert not th.is_alive()
+    assert outcome and isinstance(outcome[0], ExecBackendError)
+    assert "cancelled" in str(outcome[0])
+    assert pool.cancelled
+    with pytest.raises(ExecBackendError, match="shut down"):
+        pool.run(_chain_graph(2), lambda t: None)
+
+
+def test_pool_two_simultaneous_failures_propagate_one():
+    # Two workers fail in the same drain: exactly one exception wins,
+    # it propagates verbatim, and the pool stays usable afterwards.
+    import threading
+
+    barrier = threading.Barrier(2, timeout=10)
+    graph = TaskGraph(
+        n_tasks=4,
+        dependents=[[1, 2], [3], [3], []],
+        n_deps=np.asarray([0, 1, 1, 2], dtype=np.int64),
+        priority=np.zeros(4),
+        label="diamond",
+    )
+
+    def body(t):
+        if t in (1, 2):
+            barrier.wait()  # both failures are in flight together
+            raise NotPositiveDefiniteError(f"pivot failed in task {t}")
+
+    pool = TaskPool(2)
+    with pytest.raises(NotPositiveDefiniteError, match="pivot failed"):
+        pool.run(graph, body)
+    # A task failure is not a shutdown: the pool accepts the next run.
+    out = []
+    pool.run(_chain_graph(3, label="after"), lambda t: out.append(t))
+    assert out == [0, 1, 2]
+
+
 def test_pool_stall_detection_on_cyclic_graph():
     # 0 and 1 depend on each other: no task is ever ready.
     graph = TaskGraph(
