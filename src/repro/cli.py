@@ -245,7 +245,7 @@ def cmd_serve_sim(args) -> int:
     step, the nonlinear/transient workflow), interleaved with a handful of
     fresh patterns that must miss the analysis cache."""
     from repro.core import ParallelConfig
-    from repro.service import COMPLETED, ServiceConfig, SolverService
+    from repro.service import AdmissionError, COMPLETED, ServiceConfig, SolverService
     from repro.util.timing import WallTimer
 
     parallel = None
@@ -264,6 +264,11 @@ def cmd_serve_sim(args) -> int:
             backend=args.backend,
             workers=args.workers,
             precision=args.precision,
+            queue_policy=args.queue_policy,
+            fleet_workers=args.fleet_workers,
+            shards=args.shards,
+            max_pending=args.max_pending,
+            tenant_quota=args.tenant_quota,
         )
     )
     if not args.mesh and not args.matrix:
@@ -276,6 +281,21 @@ def cmd_serve_sim(args) -> int:
         for i in range(args.new_patterns)
     ]
     results = {}
+    rejected = 0
+
+    def submit(matrix, rhs, priority, tenant):
+        nonlocal rejected
+        try:
+            service.submit(matrix, rhs, method=args.method, priority=priority,
+                           tenant=tenant)
+        except AdmissionError:
+            # Trace driver's backpressure response: drain the queue to make
+            # room, then resubmit once (the request is not dropped).
+            rejected += 1
+            results.update(service.drain())
+            service.submit(matrix, rhs, method=args.method, priority=priority,
+                           tenant=tenant)
+
     with WallTimer() as t:
         for step in range(args.steps):
             scaled = CSCMatrix(
@@ -285,18 +305,19 @@ def cmd_serve_sim(args) -> int:
                 base.data * (1.0 + 0.5 * step / max(args.steps, 1)),
                 _skip_check=True,
             )
-            service.submit(
+            submit(
                 scaled,
                 rng.standard_normal(n),
-                method=args.method,
                 priority=0,
+                tenant=f"tenant{step % max(args.tenants, 1)}",
             )
             if args.new_patterns and step % max(args.steps // args.new_patterns, 1) == 1:
                 i = min(step * args.new_patterns // args.steps, args.new_patterns - 1)
-                service.submit(
+                submit(
                     fresh[i],
                     rng.standard_normal(fresh[i].shape[0]),
                     priority=1,
+                    tenant=f"tenant{(step + 1) % max(args.tenants, 1)}",
                 )
             results.update(service.drain())
     completed = sum(1 for r in results.values() if r.status == COMPLETED)
@@ -306,8 +327,12 @@ def cmd_serve_sim(args) -> int:
     print(
         f"served {served} jobs in {t.elapsed:.3f} s "
         f"({served / max(t.elapsed, 1e-9):.1f} jobs/s, "
-        f"cache {'on' if not args.no_cache else 'off'})"
+        f"cache {'on' if not args.no_cache else 'off'}, "
+        f"{args.fleet_workers} fleet worker(s), {args.shards} shard(s), "
+        f"{rejected} admission retries)"
     )
+    if args.shards > 1:
+        print(f"cache shard sizes: {service.cache.shard_sizes()}")
     return 0 if completed else 1
 
 
@@ -638,6 +663,46 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="generic-cluster")
     p.add_argument("--nb", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serving worker slots draining the queue concurrently "
+        "(1 = classic single-executor loop; results are bitwise "
+        "identical at any worker count)",
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="analysis-cache shards (pattern-fingerprint hash)",
+    )
+    p.add_argument(
+        "--tenants",
+        type=int,
+        default=1,
+        help="synthetic tenants the trace round-robins submissions over",
+    )
+    p.add_argument(
+        "--tenant-quota",
+        type=int,
+        default=None,
+        help="max pending jobs per tenant (admission control; default: none)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        help="max pending jobs queue-wide (backpressure; default: unbounded)",
+    )
+    p.add_argument(
+        "--queue-policy",
+        choices=("edf", "priority"),
+        default="edf",
+        help="queue ordering: earliest-deadline-first (priority on ties) "
+        "or pure priority",
+    )
     p.set_defaults(func=cmd_serve_sim)
 
     p = sub.add_parser(

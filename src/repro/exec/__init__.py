@@ -30,12 +30,14 @@ with ``backend="threads"`` rather than these functions directly.
 """
 
 from repro.exec.factor_exec import multifrontal_factor_threads
+from repro.exec.fleet import FleetCrew, FleetDirective
 from repro.exec.pool import (
     MAX_DEFAULT_WORKERS,
     PoolStats,
     ScheduleFuzzer,
     TaskPool,
     default_workers,
+    make_condition,
     make_lock,
 )
 from repro.exec.solve_exec import solve_many_threads, solve_threads
@@ -57,8 +59,11 @@ __all__ = [
     "PoolStats",
     "ScheduleFuzzer",
     "default_workers",
+    "make_condition",
     "make_lock",
     "MAX_DEFAULT_WORKERS",
+    "FleetCrew",
+    "FleetDirective",
     "ExecTrace",
     "ExecEvent",
     "EXEC_EVENT_KINDS",

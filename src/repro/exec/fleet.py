@@ -1,0 +1,165 @@
+"""Worker crew for the serving layer's fleet drain.
+
+:class:`FleetCrew` runs N worker threads against a *scheduler callback
+protocol* instead of a static task graph (contrast :class:`~repro.exec
+.pool.TaskPool`, which executes dependency-counted graphs): the caller
+owns the queue, the admission bookkeeping, and the results; the crew owns
+the threads and the condition-variable choreography. This split keeps all
+shared-memory concurrency inside :mod:`repro.exec` (lint rule RP008)
+while the scheduling *policy* — EDF ordering, per-fingerprint in-flight
+exclusion, retry parking — stays in :mod:`repro.service`, where it is
+plain synchronous code executed under the crew's lock.
+
+Protocol (one drain = one :meth:`FleetCrew.serve` call):
+
+* ``poll(worker_id)`` — called **holding the crew's condition lock**;
+  returns a :class:`FleetDirective`: ``RUN`` with a work item, ``WAIT``
+  (optionally bounded by ``timeout`` seconds, e.g. until a parked retry
+  becomes due), or ``STOP`` when no work remains and none is in flight.
+* ``execute(worker_id, item)`` — called **outside the lock**; the
+  concurrent part. Its return value is handed to ``complete``.
+* ``complete(worker_id, item, outcome)`` — called holding the lock
+  again; record results, release in-flight claims, requeue retries. The
+  crew notifies all waiters afterwards, so state changes made here wake
+  every ``WAIT``-ing worker.
+
+Error propagation matches the task pool: the first exception raised by
+``execute`` or ``complete`` stops the crew (workers exit at their next
+poll; outcomes landing after the stop are discarded) and is re-raised
+verbatim from :meth:`serve` on the calling thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar, cast
+
+from repro.exec.pool import make_condition
+from repro.util.errors import ExecBackendError
+
+__all__ = ["RUN", "WAIT", "STOP", "FleetDirective", "FleetCrew"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: directive kinds returned by the scheduler's ``poll`` callback
+RUN = "run"
+WAIT = "wait"
+STOP = "stop"
+
+
+@dataclass(frozen=True)
+class FleetDirective(Generic[T]):
+    """One answer from the scheduler's ``poll`` callback."""
+
+    kind: str
+    #: the work item (``RUN`` only)
+    item: T | None = None
+    #: max seconds to wait before re-polling (``WAIT`` only; None = until
+    #: another worker's ``complete`` changes the shared state)
+    timeout: float | None = None
+
+
+class _CrewState(Generic[T]):
+    """Shared mutable state of one serve() call (guarded by ``cond``)."""
+
+    def __init__(self) -> None:
+        self.cond = make_condition()
+        self.stop = False
+        self.error: BaseException | None = None
+
+
+class FleetCrew(Generic[T, R]):
+    """N serving threads draining a caller-owned scheduler.
+
+    A crew is reusable (one :meth:`serve` after another) but a serve in
+    progress cannot overlap another on the same crew.
+    """
+
+    def __init__(self, workers: int, name: str = "fleet"):
+        if not isinstance(workers, int) or workers < 1:
+            raise ExecBackendError(
+                f"fleet worker count must be a positive integer; got {workers!r}"
+            )
+        self.workers = workers
+        self.name = name
+        self._serving = False
+
+    def serve(
+        self,
+        poll: Callable[[int], FleetDirective[T]],
+        execute: Callable[[int, T], R],
+        complete: Callable[[int, T, R], None],
+    ) -> None:
+        """Run workers against the protocol until every worker STOPs.
+
+        Re-raises the first ``execute``/``complete`` exception verbatim
+        after all workers have exited.
+        """
+        if self._serving:
+            raise ExecBackendError(f"{self.name} crew is already serving")
+        self._serving = True
+        state: _CrewState[T] = _CrewState()
+        try:
+            threads = [
+                threading.Thread(
+                    target=self._worker,
+                    args=(wid, state, poll, execute, complete),
+                    name=f"{self.name}-worker-{wid}",
+                    daemon=True,
+                )
+                for wid in range(self.workers)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            self._serving = False
+        if state.error is not None:
+            raise state.error
+
+    def _worker(
+        self,
+        wid: int,
+        state: _CrewState[T],
+        poll: Callable[[int], FleetDirective[T]],
+        execute: Callable[[int, T], R],
+        complete: Callable[[int, T, R], None],
+    ) -> None:
+        while True:
+            with state.cond:
+                while True:
+                    if state.stop:
+                        return
+                    d = poll(wid)
+                    if d.kind == STOP:
+                        return
+                    if d.kind == RUN:
+                        item = cast("T", d.item)
+                        break
+                    state.cond.wait(timeout=d.timeout)
+            try:
+                outcome = execute(wid, item)
+            # Capture half of cross-thread propagation: serve() re-raises
+            # state.error verbatim on the calling thread.
+            except BaseException as exc:  # repro: noqa[RP001]
+                with state.cond:
+                    if state.error is None:
+                        state.error = exc
+                    state.stop = True
+                    state.cond.notify_all()
+                return
+            with state.cond:
+                if state.stop:
+                    # Another worker failed while we executed; the drain
+                    # is aborting — discard the outcome.
+                    return
+                try:
+                    complete(wid, item, outcome)
+                except BaseException as exc:  # repro: noqa[RP001]
+                    if state.error is None:
+                        state.error = exc
+                    state.stop = True
+                state.cond.notify_all()

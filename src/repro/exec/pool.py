@@ -78,6 +78,7 @@ __all__ = [
     "PoolStats",
     "ScheduleFuzzer",
     "default_workers",
+    "make_condition",
     "make_lock",
 ]
 
@@ -92,6 +93,17 @@ def make_lock() -> AbstractContextManager[bool]:
     used in ``with`` statements only.
     """
     return threading.Lock()
+
+
+def make_condition() -> threading.Condition:
+    """The sanctioned condition-variable constructor (lint rule RP010).
+
+    :class:`repro.exec.fleet.FleetCrew` coordinates its serving workers
+    through a condition variable; like every other thread primitive it is
+    *constructed* here so provenance stays auditable in one module. Usage
+    is ``with``-scoped plus ``wait``/``notify_all`` inside the block.
+    """
+    return threading.Condition()
 
 
 class ScheduleFuzzer(Protocol):

@@ -18,6 +18,17 @@ rate dashboards are built from cumulative counters.
 
 :class:`repro.service.metrics.ServiceMetrics` is now a compatibility shim
 over one of these registries.
+
+Thread safety: a registry may be written concurrently by the serving
+fleet's workers and by the execution backend's pool telemetry. Every
+instrument a registry creates shares the registry's mutex (obtained from
+:func:`repro.exec.pool.make_lock`, the audited constructor — lint rule
+RP010), so ``inc``/``observe``/``set`` are atomic read-modify-write
+updates and :meth:`MetricsRegistry.snapshot` is a consistent cut. Two
+fast paths avoid contention: ``registry.record = False`` turns the
+recording shorthands into no-ops *before* any lock is touched, and a
+standalone instrument (constructed directly, not via a registry) carries
+no lock at all.
 """
 
 from __future__ import annotations
@@ -47,37 +58,53 @@ DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
 
 
 class Counter:
-    """Monotone event counter."""
+    """Monotone event counter.
 
-    __slots__ = ("name", "value")
+    *lock* (a registry-shared mutex) makes ``inc`` atomic under
+    concurrent writers; ``None`` (the default for standalone use) keeps
+    the update lock-free.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "lock")
+
+    def __init__(self, name: str, lock=None) -> None:
         self.name = name
         self.value = 0.0
+        self.lock = lock
 
     def inc(self, by: float = 1.0) -> None:
         if by < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += by
+        if self.lock is None:
+            self.value += by
+        else:
+            with self.lock:
+                self.value += by
 
 
 class Gauge:
     """Last-written level reading."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "lock")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, lock=None) -> None:
         self.name = name
         self.value = 0.0
+        self.lock = lock
 
     def set(self, value: float) -> None:
+        # A plain store is atomic; no lock needed for last-writer-wins.
         self.value = float(value)
 
     def inc(self, by: float = 1.0) -> None:
-        self.value += by
+        if self.lock is None:
+            self.value += by
+        else:
+            with self.lock:
+                self.value += by
 
     def dec(self, by: float = 1.0) -> None:
-        self.value -= by
+        self.inc(-by)
 
 
 class Histogram:
@@ -89,10 +116,13 @@ class Histogram:
     export time.
     """
 
-    __slots__ = ("name", "uppers", "counts", "sum", "count")
+    __slots__ = ("name", "uppers", "counts", "sum", "count", "lock")
 
     def __init__(
-        self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        lock=None,
     ) -> None:
         uppers = tuple(float(b) for b in buckets)
         if not uppers or any(
@@ -104,14 +134,28 @@ class Histogram:
         self.counts = [0] * (len(uppers) + 1)  # final slot = +Inf
         self.sum = 0.0
         self.count = 0
+        self.lock = lock
 
     def observe(self, value: float) -> None:
         v = float(value)
+        if self.lock is None:
+            self._observe(v)
+        else:
+            with self.lock:
+                self._observe(v)
+
+    def _observe(self, v: float) -> None:
         self.counts[bisect_left(self.uppers, v)] += 1
         self.sum += v
         self.count += 1
 
     def snapshot(self) -> "HistogramSnapshot":
+        if self.lock is None:
+            return self._snapshot()
+        with self.lock:
+            return self._snapshot()
+
+    def _snapshot(self) -> "HistogramSnapshot":
         return HistogramSnapshot(
             uppers=self.uppers,
             counts=tuple(self.counts),
@@ -205,38 +249,62 @@ class MetricsSnapshot:
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms (get-or-create access)."""
+    """Named counters, gauges, and histograms (get-or-create access).
 
-    def __init__(self) -> None:
+    Safe for concurrent writers: one registry-wide mutex (constructed via
+    the audited :func:`repro.exec.pool.make_lock`) is shared by every
+    instrument the registry creates, making updates atomic and snapshots
+    consistent. Setting :attr:`record` to ``False`` turns the recording
+    shorthands (:meth:`inc` / :meth:`observe`) into no-ops before any
+    lock is touched — the contention-free path for latency-critical runs
+    that don't want telemetry.
+    """
+
+    def __init__(self, record: bool = True) -> None:
+        # Lazy import: repro.exec.pool pulls in repro.obs.spans/profile at
+        # module import time; binding at first-registry construction keeps
+        # the package import graph acyclic.
+        from repro.exec.pool import make_lock
+
+        self._lock = make_lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: master recording switch of the shorthand paths
+        self.record = record
 
     # -- get-or-create -------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
-        if c is None:
-            c = self._counters[name] = Counter(name)
-        return c
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name, lock=self._lock)
+            return c
 
     def gauge(self, name: str) -> Gauge:
-        g = self._gauges.get(name)
-        if g is None:
-            g = self._gauges[name] = Gauge(name)
-        return g
+        with self._lock:
+            g = self._gauges.get(name)
+            if g is None:
+                g = self._gauges[name] = Gauge(name, lock=self._lock)
+            return g
 
     def histogram(
         self, name: str, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
     ) -> Histogram:
-        h = self._histograms.get(name)
-        if h is None:
-            h = self._histograms[name] = Histogram(name, buckets)
-        return h
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(
+                    name, buckets, lock=self._lock
+                )
+            return h
 
     # -- recording shorthands ------------------------------------------------
 
     def inc(self, name: str, by: float = 1.0) -> None:
+        if not self.record:
+            return
         self.counter(name).inc(by)
 
     def observe(
@@ -245,30 +313,39 @@ class MetricsRegistry:
         value: float,
         buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
     ) -> None:
+        if not self.record:
+            return
         self.histogram(name, buckets).observe(value)
 
     # -- introspection -------------------------------------------------------
 
     def counter_value(self, name: str) -> float:
-        c = self._counters.get(name)
-        return c.value if c is not None else 0.0
+        with self._lock:
+            c = self._counters.get(name)
+            return c.value if c is not None else 0.0
 
     def counter_values(self) -> dict[str, float]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        with self._lock:
+            return {name: c.value for name, c in sorted(self._counters.items())}
 
     def gauge_values(self) -> dict[str, float]:
-        return {name: g.value for name, g in sorted(self._gauges.items())}
+        with self._lock:
+            return {name: g.value for name, g in sorted(self._gauges.items())}
 
     def histograms(self) -> dict[str, Histogram]:
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def snapshot(self) -> MetricsSnapshot:
+        # Copy the instrument dict under the lock, then let each
+        # histogram snapshot itself (it takes the shared lock per call;
+        # holding it across the loop would self-deadlock).
+        hists = self.histograms()
         return MetricsSnapshot(
             counters=self.counter_values(),
             gauges=self.gauge_values(),
             histograms={
-                name: h.snapshot()
-                for name, h in sorted(self._histograms.items())
+                name: h.snapshot() for name, h in sorted(hists.items())
             },
         )
 
@@ -281,7 +358,7 @@ class MetricsRegistry:
             rows.append([name, "counter", round(value, 6), ""])
         for name, value in self.gauge_values().items():
             rows.append([name, "gauge", round(value, 6), ""])
-        for name, h in sorted(self._histograms.items()):
+        for name, h in sorted(self.histograms().items()):
             mean = h.sum / h.count if h.count else 0.0
             rows.append([name, "histogram", h.count, f"mean={mean:.6g}"])
         return format_table(["metric", "kind", "value", "detail"], rows, title=title)

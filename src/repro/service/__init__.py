@@ -18,8 +18,14 @@ This package turns that into a request-level service:
   text report (``repro.cli serve-sim`` prints it).
 """
 
-from repro.service.cache import AnalysisCache, AnalysisEntry, CacheStats
-from repro.service.executor import Executor, ExecutorOptions
+from repro.service.cache import (
+    AnalysisCache,
+    AnalysisEntry,
+    CacheStats,
+    ShardedAnalysisCache,
+)
+from repro.service.executor import Executor, ExecutorOptions, Requeue
+from repro.util.errors import AdmissionError
 from repro.service.fingerprint import (
     PatternFingerprint,
     pattern_fingerprint,
@@ -38,11 +44,14 @@ from repro.service.metrics import LatencyHistogram, ServiceMetrics
 from repro.service.queue import JobQueue, ServiceConfig, SolverService
 
 __all__ = [
+    "AdmissionError",
     "AnalysisCache",
     "AnalysisEntry",
     "CacheStats",
+    "ShardedAnalysisCache",
     "Executor",
     "ExecutorOptions",
+    "Requeue",
     "PatternFingerprint",
     "pattern_fingerprint",
     "values_digest",

@@ -16,10 +16,14 @@ and method):
    plain sequential backend — safe because the two are bitwise identical
    — counted in ``service_backend_fallback_total``; an fp32 batch whose
    factorization breaks down or whose refinement stalls re-runs with an
-   fp64 factor — counted in ``service_precision_fallback_total``; host
-   failures are retried with exponential backoff up to the configured
-   limit; the per-job wall budget is checked between attempts
-   (cooperative timeout).
+   fp64 factor — counted in ``service_precision_fallback_total``; a host
+   failure with retry budget left returns a :class:`Requeue` directive —
+   the batch goes back to the queue parked until ``not_before`` (the
+   exponential backoff) instead of the worker sleeping inline, so other
+   queued jobs are never stalled behind one flaky one; the per-job wall
+   budget is measured from the *first* attempt's start across requeues
+   and checked both at dispatch (fail fast) and on failure, with the
+   backoff delay capped at the remaining budget (cooperative timeout).
 
 Mixed precision: a job's requested ``precision`` selects the working
 dtype of the host numeric factor. fp32 batches always run fp64 iterative
@@ -56,6 +60,26 @@ from repro.service.metrics import ServiceMetrics
 from repro.sparse.ops import sym_matvec_lower_many
 from repro.util.errors import ExecBackendError, ReproError
 from repro.util.timing import WallTimer
+
+
+@dataclass
+class Requeue:
+    """Directive returned by :meth:`Executor.execute` instead of results:
+    park the batch and retry it at ``not_before``.
+
+    The executor never sleeps a backoff inline — that would stall every
+    other queued job behind one flaky batch. The dispatch loop pushes the
+    jobs back (each already stamped with ``attempts``/``not_before``/
+    ``last_error``) and serves other ready work until the park expires.
+    """
+
+    jobs: list[SolveJob]
+    #: service-clock time the retry becomes dispatchable
+    not_before: float
+    #: attempts burned so far (resumed by the next dispatch)
+    attempts: int
+    #: formatted error of the failed attempt
+    error: str
 
 
 @dataclass(frozen=True)
@@ -99,34 +123,53 @@ class Executor:
 
     # -- batch entry point ---------------------------------------------------
 
-    def execute(self, batch: list[SolveJob]) -> list[JobResult]:
-        """Execute a coalesced batch; one result per job, same order."""
+    def execute(self, batch: list[SolveJob]) -> list[JobResult] | Requeue:
+        """Execute a coalesced batch: one result per job, same order — or
+        a :class:`Requeue` directive when a retryable failure should be
+        attempted again later without blocking the worker."""
         with span("service.batch", jobs=len(batch)) as sp:
             return self._execute(batch, sp)
 
-    def _execute(self, batch: list[SolveJob], sp) -> list[JobResult]:
+    def _execute(self, batch: list[SolveJob], sp) -> list[JobResult] | Requeue:
         t_start = self._clock()
         job0 = batch[0]
         b_block = np.hstack([job.b for job in batch])
         sp.set(rhs=int(b_block.shape[1]))
 
+        # The wall budget spans requeued attempts: measure from the first
+        # dispatch of the earliest-started job in the batch.
+        for job in batch:
+            if job.first_started_at is None:
+                job.first_started_at = t_start
+        started = min(job.first_started_at for job in batch)
+        attempts = max(job.attempts for job in batch)
+        degraded = any(job.degraded for job in batch)
+        budgets = [j.timeout for j in batch if j.timeout is not None]
+        budget = min(budgets) if budgets else None
+        if budget is not None and t_start - started >= budget:
+            # Fail fast: the budget was burned by earlier attempts (and
+            # the park in between); don't start another one.
+            return self._timeout_failures(
+                batch,
+                job0.last_error or "wall budget exhausted before dispatch",
+                attempts,
+                degraded,
+                t_start - started,
+            )
+
         try:
             entry, cache_hit, timings = self._prepare(job0)
         except ReproError as exc:
             # Analysis is deterministic: retrying it cannot help.
-            return self._failures(batch, FAILED, exc, 0, False)
+            return self._failures(batch, FAILED, _fmt(exc), attempts, degraded)
         sp.set(cache_hit=cache_hit)
 
-        budgets = [j.timeout for j in batch if j.timeout is not None]
-        budget = min(budgets) if budgets else None
-        if self.options.parallel is not None:
+        if self.options.parallel is not None and not degraded:
             engine = "parallel"
         elif self.options.backend == "threads":
             engine = "threads"
         else:
             engine = "sequential"
-        attempts = 0
-        degraded = False
         precision = job0.precision
         while True:
             try:
@@ -163,21 +206,36 @@ class Executor:
                     self.metrics.inc("service_backend_fallback_total")
                     continue
                 if attempts >= self.options.max_retries:
-                    return self._failures(batch, FAILED, exc, attempts, degraded)
-                # Check the wall budget *before* burning a backoff sleep:
+                    return self._failures(
+                        batch, FAILED, _fmt(exc), attempts, degraded
+                    )
+                # Check the wall budget *before* burning a backoff park:
                 # an over-budget batch fails fast, and a near-budget batch
-                # only sleeps the remainder.
-                elapsed = self._clock() - t_start
+                # only parks for the remainder.
+                elapsed = self._clock() - started
                 if budget is not None and elapsed >= budget:
                     return self._timeout_failures(
-                        batch, exc, attempts, degraded, elapsed
+                        batch, _fmt(exc), attempts, degraded, elapsed
                     )
                 attempts += 1
                 self.metrics.inc("retries")
                 delay = self.options.retry_backoff * 2 ** (attempts - 1)
                 if budget is not None:
                     delay = min(delay, budget - elapsed)
-                self._sleep(delay)
+                # Requeue instead of sleeping: park the batch until the
+                # backoff expires so the worker can serve other jobs.
+                not_before = started + elapsed + delay
+                for job in batch:
+                    job.attempts = attempts
+                    job.degraded = degraded
+                    job.not_before = not_before
+                    job.last_error = _fmt(exc)
+                return Requeue(
+                    jobs=list(batch),
+                    not_before=not_before,
+                    attempts=attempts,
+                    error=_fmt(exc),
+                )
 
         timings["job_total"] = self._clock() - t_start
         results = []
@@ -379,7 +437,7 @@ class Executor:
         self,
         batch: list[SolveJob],
         status: str,
-        exc: Exception,
+        error: str,
         attempts: int,
         degraded: bool,
     ) -> list[JobResult]:
@@ -389,7 +447,7 @@ class Executor:
                 status=status,
                 retries=attempts,
                 degraded=degraded,
-                error=f"{type(exc).__name__}: {exc}",
+                error=error,
             )
             for job in batch
         ]
@@ -397,7 +455,7 @@ class Executor:
     def _timeout_failures(
         self,
         batch: list[SolveJob],
-        exc: Exception,
+        error: str,
         attempts: int,
         degraded: bool,
         elapsed: float,
@@ -418,7 +476,12 @@ class Executor:
                 ),
                 retries=attempts,
                 degraded=degraded,
-                error=f"{type(exc).__name__}: {exc}",
+                error=error,
             )
             for job in batch
         ]
+
+
+def _fmt(exc: Exception) -> str:
+    """The error string format every failure path shares."""
+    return f"{type(exc).__name__}: {exc}"

@@ -53,6 +53,23 @@ class SolveJob:
     squeeze: bool = False
     #: requested working precision of the numeric factor ("fp64"/"fp32")
     precision: str = "fp64"
+    #: submitting tenant (admission quotas are per tenant)
+    tenant: str = "default"
+    #: retry attempts already burned across requeues (the executor resumes
+    #: the backoff ladder here instead of restarting it)
+    attempts: int = 0
+    #: service-clock time before which the queue must not dispatch this job
+    #: (set by the executor's retry requeue — the non-blocking backoff)
+    not_before: float | None = None
+    #: service-clock time the first execution attempt started; the per-job
+    #: wall budget (``timeout``) is measured from here across requeues
+    first_started_at: float | None = None
+    #: a degradation (parallel → host, threads → sequential) happened on an
+    #: earlier attempt; survives requeues so the final result reports it
+    degraded: bool = False
+    #: formatted error of the most recent failed attempt (requeued jobs
+    #: that later exhaust their budget report this as the cause)
+    last_error: str | None = None
 
     @property
     def n_rhs(self) -> int:

@@ -13,6 +13,11 @@ the exporters.
 
 The public surface (``inc`` / ``observe`` / ``counter`` / ``summaries`` /
 ``report``) is unchanged from the pre-shim class.
+
+The registry side is thread-safe on its own (see
+:mod:`repro.obs.metrics`); the shim adds one mutex of its own around the
+all-sample histograms, whose get-or-create dict and sorted-insert
+recorder would otherwise race under the serving fleet's workers.
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from repro.analysis.report import (
     render_counter_table,
     render_latency_table,
 )
+from repro.exec.pool import make_lock
 from repro.obs.metrics import MetricsRegistry, SampleHistogram
 from repro.service.cache import CacheStats
 from repro.util.tables import format_table
@@ -41,6 +47,7 @@ class ServiceMetrics:
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.histograms: dict[str, LatencyHistogram] = {}
+        self._lock = make_lock()
 
     @property
     def counters(self) -> dict[str, int]:
@@ -54,17 +61,20 @@ class ServiceMetrics:
         self.registry.inc(name, by)
 
     def observe(self, name: str, seconds: float) -> None:
-        hist = self.histograms.get(name)
-        if hist is None:
-            hist = self.histograms[name] = LatencyHistogram()
-        hist.observe(seconds)
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = LatencyHistogram()
+            hist.observe(seconds)
         self.registry.observe(name, seconds)
 
     def counter(self, name: str) -> int:
         return int(self.registry.counter_value(name))
 
     def summaries(self) -> dict[str, LatencySummary]:
-        return {name: h.summary() for name, h in self.histograms.items()}
+        with self._lock:
+            items = list(self.histograms.items())
+        return {name: h.summary() for name, h in items}
 
     def report(self, cache_stats: CacheStats | None = None) -> str:
         """Full plain-text metrics report (counters, cache, latencies)."""

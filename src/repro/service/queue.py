@@ -1,21 +1,42 @@
-"""Priority queue + synchronous dispatch loop: ``SolverService``.
+"""Deadline/priority job queue + the dispatch loops: ``SolverService``.
 
 The service is the serving layer's front door. Callers ``submit()`` solve
-requests (matrix + right-hand sides + priority/deadline/timeout) and
-``drain()`` runs the dispatch loop: take the most urgent pending job,
+requests (matrix + right-hand sides + priority/deadline/timeout/tenant)
+and ``drain()`` runs the dispatch loop: take the most urgent pending job,
 coalesce every other pending job with the *same pattern and values* into
 one blocked multi-RHS solve (amortizing both the numeric factorization and
 the latency-bound solve sweeps), drop jobs whose deadline has passed, and
 hand the batch to the :class:`~repro.service.executor.Executor`.
 
-The loop is synchronous and single-worker by design — the repo's engines
-are deterministic simulations, and determinism is what makes the serving
-layer's results bit-checkable against the cold path. Sharding and async
-backends plug in behind this same interface.
+Two dispatch modes share that contract:
+
+* **single executor** (``fleet_workers=1``, the default) — the classic
+  synchronous loop; deterministic given a deterministic clock.
+* **fleet** (``fleet_workers>1``) — N worker threads (a
+  :class:`repro.exec.fleet.FleetCrew`) pull batches concurrently from the
+  same queue. The analysis cache is sharded by pattern-fingerprint hash
+  (:class:`~repro.service.cache.ShardedAnalysisCache`), and batches with
+  the same fingerprint are never in flight simultaneously, so each job's
+  results stay **bitwise identical** to the single-executor run — only
+  wall-clock timings and queue waits differ.
+
+Scheduling is EDF-first by default (``queue_policy="edf"``): earliest
+deadline wins, priority breaks deadline ties, jobs without deadlines sort
+behind any deadline and among themselves by priority; submission order
+breaks all remaining ties (FIFO). ``queue_policy="priority"`` restores
+the pure priority order (deadlines still expire jobs, they just don't
+order them) — the ablation the fleet benchmark measures.
+
+Admission control rejects work *at submit time* with a typed
+:class:`~repro.util.errors.AdmissionError`: ``max_pending`` bounds the
+whole queue (backpressure), ``tenant_quota`` bounds one tenant's pending
+jobs. Rejected requests are counted, never enqueued.
 """
 
 from __future__ import annotations
 
+import heapq
+import math
 import time
 from dataclasses import dataclass
 
@@ -23,60 +44,192 @@ import numpy as np
 
 from repro.core.solver import ParallelConfig, as_symmetric_lower
 from repro.obs.spans import span
-from repro.service.cache import AnalysisCache
-from repro.service.executor import Executor, ExecutorOptions
+from repro.service.cache import ShardedAnalysisCache
+from repro.service.executor import Executor, ExecutorOptions, Requeue
 from repro.service.fingerprint import pattern_fingerprint, values_digest
 from repro.service.jobs import EXPIRED, JobResult, SolveJob
 from repro.service.metrics import ServiceMetrics
-from repro.util.errors import ShapeError
+from repro.util.errors import AdmissionError, ReproError, ShapeError
 from repro.util.validation import as_float_array, work_dtype
+
+#: queue ordering policies (see module docstring)
+QUEUE_POLICIES = ("edf", "priority")
+
+
+class _Entry:
+    """One queued job plus its lazy-deletion flag.
+
+    Entries live in up to three heaps at once (the ready heap, the
+    per-batch-key heap, the parked heap); claiming marks the entry and
+    every heap skips claimed entries on pop instead of searching.
+    """
+
+    __slots__ = ("job", "claimed")
+
+    def __init__(self, job: SolveJob) -> None:
+        self.job = job
+        self.claimed = False
 
 
 class JobQueue:
-    """Priority-ordered pending jobs (smaller priority first, FIFO ties)."""
+    """Deadline/priority-ordered pending jobs with O(log n) push/pop.
 
-    def __init__(self) -> None:
-        self._jobs: list[tuple[int, int, SolveJob]] = []
+    A binary heap keyed ``(order_key, seq)`` replaces the historical
+    sort-the-whole-list-per-pop (O(n log n) *per batch*); a secondary
+    per-``batch_key`` heap serves coalescing candidates in the same
+    global order, preserving the documented FIFO no-inversion contract:
+    coalescing stops at the first same-key job that does not fit the
+    ``max_rhs`` budget — skipping it while admitting later-submitted
+    same-key jobs would let them jump the queue at equal rank.
+
+    Jobs with ``not_before`` set (retry backoff parks) wait in a separate
+    heap keyed by wake time and only become dispatchable once
+    ``pop_batch`` is called with a ``now`` at or past it.
+    """
+
+    def __init__(self, policy: str = "edf") -> None:
+        if policy not in QUEUE_POLICIES:
+            raise ShapeError(
+                f"unknown queue policy {policy!r}; expected one of {QUEUE_POLICIES}"
+            )
+        self.policy = policy
+        self._heap: list[tuple[tuple, int, _Entry]] = []
+        self._by_key: dict[tuple, list[tuple[tuple, int, _Entry]]] = {}
+        self._parked: list[tuple[float, int, _Entry]] = []
+        self._tenant_pending: dict[str, int] = {}
         self._seq = 0
+        self._n = 0
 
     def __len__(self) -> int:
-        return len(self._jobs)
+        return self._n
+
+    def tenant_pending(self, tenant: str) -> int:
+        """Pending (queued, not yet dispatched) jobs of *tenant*."""
+        return self._tenant_pending.get(tenant, 0)
+
+    def pending_by_tenant(self) -> dict[str, int]:
+        """Snapshot of pending-job counts per tenant."""
+        return dict(self._tenant_pending)
+
+    def order_key(self, job: SolveJob) -> tuple:
+        """The policy's ordering key (smaller dispatches first).
+
+        ``"edf"``: ``(deadline, priority)`` with no-deadline treated as
+        +inf — the earliest deadline wins outright and priority only
+        breaks deadline ties. ``"priority"``: ``(priority,)``.
+        """
+        if self.policy == "edf":
+            deadline = job.deadline if job.deadline is not None else math.inf
+            return (deadline, job.priority)
+        return (job.priority,)
 
     def push(self, job: SolveJob) -> None:
-        self._jobs.append((job.priority, self._seq, job))
+        """Enqueue *job* (parked when its ``not_before`` is set)."""
+        entry = _Entry(job)
+        seq = self._seq
         self._seq += 1
+        self._n += 1
+        self._tenant_pending[job.tenant] = (
+            self._tenant_pending.get(job.tenant, 0) + 1
+        )
+        if job.not_before is not None:
+            heapq.heappush(self._parked, (job.not_before, seq, entry))
+        else:
+            self._ready_push(seq, entry)
+
+    def _ready_push(self, seq: int, entry: _Entry) -> None:
+        key = self.order_key(entry.job)
+        item = (key, seq, entry)
+        heapq.heappush(self._heap, item)
+        heapq.heappush(self._by_key.setdefault(entry.job.batch_key(), []), item)
+
+    def _admit_due(self, now: float) -> None:
+        """Move parked jobs whose wake time has arrived to the ready heap."""
+        while self._parked and self._parked[0][0] <= now:
+            _, _, entry = heapq.heappop(self._parked)
+            if entry.claimed:
+                continue
+            seq = self._seq
+            self._seq += 1
+            self._ready_push(seq, entry)
+
+    def next_ready_at(self) -> float | None:
+        """Earliest wake time among parked jobs (None when none parked)."""
+        while self._parked and self._parked[0][2].claimed:
+            heapq.heappop(self._parked)
+        return self._parked[0][0] if self._parked else None
+
+    def _claim(self, entry: _Entry) -> None:
+        entry.claimed = True
+        self._n -= 1
+        tenant = entry.job.tenant
+        left = self._tenant_pending.get(tenant, 0) - 1
+        if left > 0:
+            self._tenant_pending[tenant] = left
+        else:
+            self._tenant_pending.pop(tenant, None)
 
     def pop_batch(
-        self, coalesce: bool = True, max_rhs: int | None = None
+        self,
+        coalesce: bool = True,
+        max_rhs: int | None = None,
+        now: float | None = None,
+        exclude: set | None = None,
     ) -> list[SolveJob]:
-        """Pop the most urgent job plus (optionally) every pending job
-        sharing its pattern+values+method, bounded by *max_rhs* columns.
+        """Pop the most urgent ready job plus (optionally) every pending
+        job sharing its pattern+values+method+precision, bounded by
+        *max_rhs* columns.
+
+        *now* admits parked retries whose backoff expired. *exclude* is a
+        set of fingerprint keys currently in flight (fleet mode): jobs on
+        those patterns are skipped — not popped — so two workers never
+        mutate one cached analysis concurrently. Returns ``[]`` when
+        nothing is dispatchable (everything parked or excluded).
 
         Coalescing stops at the first same-key job that does not fit the
-        *max_rhs* budget: skipping it while still admitting later-submitted
-        same-key jobs would let them jump the queue at equal priority
-        (FIFO inversion). The non-fitting job keeps its place and heads the
-        next batch instead.
+        *max_rhs* budget: skipping it while still admitting
+        later-submitted same-key jobs would let them jump the queue at
+        equal rank (FIFO inversion). The non-fitting job keeps its place
+        and heads a later batch instead.
         """
-        if not self._jobs:
+        if now is not None:
+            self._admit_due(now)
+        deferred = []
+        head: _Entry | None = None
+        while self._heap:
+            item = heapq.heappop(self._heap)
+            entry = item[2]
+            if entry.claimed:
+                continue  # lazily dropped (claimed via the by-key heap)
+            if exclude and entry.job.fingerprint.key in exclude:
+                deferred.append(item)
+                continue
+            head = entry
+            break
+        for item in deferred:
+            heapq.heappush(self._heap, item)
+        if head is None:
             return []
-        self._jobs.sort(key=lambda item: item[:2])
-        head = self._jobs[0][2]
-        key = head.batch_key()
-        batch = [head]
-        total = head.n_rhs
-        rest = []
-        key_closed = False
-        for item in self._jobs[1:]:
-            job = item[2]
-            if coalesce and not key_closed and job.batch_key() == key:
-                if max_rhs is None or total + job.n_rhs <= max_rhs:
-                    batch.append(job)
-                    total += job.n_rhs
+        self._claim(head)
+        batch = [head.job]
+        key = head.job.batch_key()
+        if coalesce:
+            total = head.job.n_rhs
+            kheap = self._by_key.get(key, [])
+            while kheap:
+                entry = kheap[0][2]
+                if entry.claimed:
+                    heapq.heappop(kheap)
                     continue
-                key_closed = True
-            rest.append(item)
-        self._jobs = rest
+                if max_rhs is not None and total + entry.job.n_rhs > max_rhs:
+                    break  # key closed: the non-fitting job keeps its place
+                heapq.heappop(kheap)
+                self._claim(entry)
+                batch.append(entry.job)
+                total += entry.job.n_rhs
+        kheap = self._by_key.get(key)
+        if kheap is not None and not kheap:
+            del self._by_key[key]
         return batch
 
 
@@ -84,7 +237,7 @@ class JobQueue:
 class ServiceConfig:
     """Policy knobs of one :class:`SolverService`."""
 
-    #: analysis cache slots (distinct sparsity patterns held)
+    #: analysis cache slots (distinct sparsity patterns held, all shards)
     cache_capacity: int = 32
     #: disable to force a cold analyze per request (benchmarks ablate this)
     cache_enabled: bool = True
@@ -108,6 +261,18 @@ class ServiceConfig:
     #: always run iterative refinement and fall back to an fp64 re-factor
     #: when refinement stalls (counted in service_precision_fallback_total)
     precision: str = "fp64"
+    #: queue ordering: "edf" (earliest deadline first, priority on ties)
+    #: or "priority" (pure priority; deadlines only expire)
+    queue_policy: str = "edf"
+    #: serving worker slots draining the queue concurrently (1 = the
+    #: classic synchronous single-executor loop)
+    fleet_workers: int = 1
+    #: analysis-cache shards (pattern-fingerprint hash)
+    shards: int = 1
+    #: admission control: max pending jobs queue-wide (None = unbounded)
+    max_pending: int | None = None
+    #: admission control: max pending jobs per tenant (None = no quotas)
+    tenant_quota: int | None = None
 
     def executor_options(self) -> ExecutorOptions:
         return ExecutorOptions(
@@ -133,8 +298,10 @@ class SolverService:
     ):
         self.config = config or ServiceConfig()
         self.metrics = ServiceMetrics()
-        self.cache = AnalysisCache(self.config.cache_capacity)
-        self.queue = JobQueue()
+        self.cache = ShardedAnalysisCache(
+            self.config.cache_capacity, shards=self.config.shards
+        )
+        self.queue = JobQueue(policy=self.config.queue_policy)
         self.executor = Executor(
             self.cache,
             self.metrics,
@@ -144,6 +311,7 @@ class SolverService:
         )
         self.results: dict[int, JobResult] = {}
         self._clock = clock
+        self._sleep = sleep
         self._next_id = 0
 
     # -- request intake ------------------------------------------------------
@@ -157,6 +325,7 @@ class SolverService:
         deadline: float | None = None,
         timeout: float | None = None,
         precision: str | None = None,
+        tenant: str = "default",
     ) -> int:
         """Enqueue one solve request; returns its job id.
 
@@ -165,7 +334,13 @@ class SolverService:
         service clock (see :meth:`now`); *timeout* is a wall-second budget
         once execution starts. *precision* overrides the service-wide
         default (:attr:`ServiceConfig.precision`) for this request.
+        *tenant* names the submitter for per-tenant quota accounting.
+
+        Raises :class:`~repro.util.errors.AdmissionError` (never
+        enqueueing) when the bounded queue is full or the tenant is at
+        its pending-job quota.
         """
+        self._admit(tenant)
         if precision is None:
             precision = self.config.precision
         work_dtype(precision)  # validate the name before enqueueing
@@ -190,59 +365,204 @@ class SolverService:
             submitted_at=self._clock(),
             squeeze=squeeze,
             precision=precision,
+            tenant=tenant,
         )
         self._next_id += 1
         self.queue.push(job)
         self.metrics.inc("jobs_submitted")
         return job.job_id
 
+    def _admit(self, tenant: str) -> None:
+        """Admission control: reject (typed, counted) instead of enqueue."""
+        limit = self.config.max_pending
+        if limit is not None and len(self.queue) >= limit:
+            self.metrics.inc("service_admission_rejected_total")
+            self.metrics.inc("service_admission_rejected_backpressure_total")
+            raise AdmissionError(
+                f"queue full: {len(self.queue)} pending >= max_pending="
+                f"{limit}; back off and resubmit",
+                reason="backpressure",
+            )
+        quota = self.config.tenant_quota
+        if quota is not None and self.queue.tenant_pending(tenant) >= quota:
+            self.metrics.inc("service_admission_rejected_total")
+            self.metrics.inc("service_admission_rejected_quota_total")
+            raise AdmissionError(
+                f"tenant {tenant!r} is at its pending-job quota ({quota})",
+                reason="quota",
+            )
+
     def now(self) -> float:
         """Current service-clock time (the reference for deadlines)."""
         return self._clock()
 
-    # -- dispatch loop -------------------------------------------------------
+    # -- dispatch loops ------------------------------------------------------
 
     def drain(self) -> dict[int, JobResult]:
         """Process every pending job; returns results keyed by job id."""
-        with span("service.drain", pending=len(self.queue)):
-            return self._drain()
+        with span(
+            "service.drain",
+            pending=len(self.queue),
+            workers=self.config.fleet_workers,
+        ):
+            if self.config.fleet_workers > 1:
+                processed = self._drain_fleet()
+            else:
+                processed = self._drain()
+        self.publish_autoscale_signals()
+        self.results.update(processed)
+        return processed
 
     def _drain(self) -> dict[int, JobResult]:
+        """The classic synchronous single-executor loop."""
         processed: dict[int, JobResult] = {}
+        floor = 0.0  # logical time reached by sleeping until a park expires
         while len(self.queue):
+            now = max(self._clock(), floor)
             batch = self.queue.pop_batch(
                 coalesce=self.config.coalesce,
                 max_rhs=self.config.max_batch_rhs,
+                now=now,
             )
-            now = self._clock()
-            live = []
-            for job in batch:
-                if job.deadline is not None and now > job.deadline:
-                    self.metrics.inc("jobs_expired")
-                    processed[job.job_id] = JobResult(
-                        job_id=job.job_id,
-                        status=EXPIRED,
-                        queue_wait=now - job.submitted_at,
-                        error="deadline passed before dispatch",
+            if not batch:
+                # Only parked retries remain: sleep to the earliest wake.
+                wake = self.queue.next_ready_at()
+                if wake is None:
+                    raise ReproError(
+                        "job queue stalled: pending jobs but none ready"
                     )
-                else:
-                    live.append(job)
+                self._sleep(max(wake - now, 0.0))
+                # Injected clocks (tests, simulations) may not advance on
+                # an injected sleep; the wake time has logically passed
+                # either way.
+                floor = wake
+                continue
+            live = self._expire(batch, now, processed)
             if not live:
                 continue
             self.metrics.inc("batches")
             if len(live) > 1:
                 self.metrics.inc("coalesced_jobs", len(live) - 1)
-            for job, res in zip(live, self.executor.execute(live)):
-                res.queue_wait = now - job.submitted_at
-                self.metrics.observe("queue_wait", res.queue_wait)
-                for phase, seconds in res.timings.items():
-                    self.metrics.observe(phase, seconds)
-                self.metrics.inc(f"jobs_{res.status}")
-                if res.cache_hit:
-                    self.metrics.inc("cache_hit_jobs")
-                processed[job.job_id] = res
-        self.results.update(processed)
+            outcome = self.executor.execute(live)
+            if isinstance(outcome, Requeue):
+                self._requeue(outcome)
+                continue
+            self._record(live, outcome, now, processed)
         return processed
+
+    def _drain_fleet(self) -> dict[int, JobResult]:
+        """Fleet mode: N crew workers pull from the shared queue.
+
+        Scheduling invariant: at most one in-flight batch per pattern
+        fingerprint (``inflight`` exclusion), so concurrent workers never
+        touch the same cached analysis — which is what keeps fleet
+        results bitwise identical to the single-executor drain, per job,
+        at any worker count.
+        """
+        from repro.exec.fleet import RUN, STOP, WAIT, FleetCrew, FleetDirective
+
+        processed: dict[int, JobResult] = {}
+        inflight: set = set()
+        crew = FleetCrew(self.config.fleet_workers, name="service-fleet")
+        gauge = self.metrics.registry.gauge
+
+        # poll/complete run under the crew's condition lock — they are the
+        # scheduler's critical section; execute runs concurrently.
+
+        def poll(wid: int) -> FleetDirective:
+            now = self._clock()
+            while True:
+                batch = self.queue.pop_batch(
+                    coalesce=self.config.coalesce,
+                    max_rhs=self.config.max_batch_rhs,
+                    now=now,
+                    exclude=inflight,
+                )
+                if not batch:
+                    break
+                live = self._expire(batch, now, processed)
+                if not live:
+                    continue
+                self.metrics.inc("batches")
+                if len(live) > 1:
+                    self.metrics.inc("coalesced_jobs", len(live) - 1)
+                inflight.add(live[0].fingerprint.key)
+                gauge("service_inflight_batches").set(float(len(inflight)))
+                return FleetDirective(RUN, item=(live, now))
+            if not len(self.queue) and not inflight:
+                return FleetDirective(STOP)
+            wake = self.queue.next_ready_at()
+            timeout = max(wake - now, 0.0) if wake is not None else None
+            return FleetDirective(WAIT, timeout=timeout)
+
+        def execute(wid: int, item):
+            live, _ = item
+            return self.executor.execute(live)
+
+        def complete(wid: int, item, outcome) -> None:
+            live, dispatched = item
+            inflight.discard(live[0].fingerprint.key)
+            gauge("service_inflight_batches").set(float(len(inflight)))
+            if isinstance(outcome, Requeue):
+                self._requeue(outcome)
+            else:
+                self._record(live, outcome, dispatched, processed)
+
+        crew.serve(poll, execute, complete)
+        return processed
+
+    # -- shared dispatch bookkeeping -----------------------------------------
+
+    def _expire(
+        self,
+        batch: list[SolveJob],
+        now: float,
+        processed: dict[int, JobResult],
+    ) -> list[SolveJob]:
+        """Drop batch members whose deadline passed; returns the live rest."""
+        live = []
+        for job in batch:
+            if job.deadline is not None and now > job.deadline:
+                self.metrics.inc("jobs_expired")
+                self.metrics.inc("service_deadline_jobs_total")
+                self.metrics.inc("service_deadline_missed_total")
+                processed[job.job_id] = JobResult(
+                    job_id=job.job_id,
+                    status=EXPIRED,
+                    queue_wait=now - job.submitted_at,
+                    error="deadline passed before dispatch",
+                )
+            else:
+                live.append(job)
+        return live
+
+    def _requeue(self, rq: Requeue) -> None:
+        """Park a retry batch until its backoff expires (non-blocking)."""
+        for job in rq.jobs:
+            self.queue.push(job)
+
+    def _record(
+        self,
+        live: list[SolveJob],
+        results: list[JobResult],
+        dispatched: float,
+        processed: dict[int, JobResult],
+    ) -> None:
+        done = self._clock()
+        for job, res in zip(live, results):
+            res.queue_wait = dispatched - job.submitted_at
+            self.metrics.observe("queue_wait", res.queue_wait)
+            for phase, seconds in res.timings.items():
+                self.metrics.observe(phase, seconds)
+            self.metrics.inc(f"jobs_{res.status}")
+            if res.cache_hit:
+                self.metrics.inc("cache_hit_jobs")
+            if job.deadline is not None:
+                self.metrics.inc("service_deadline_jobs_total")
+                if done > job.deadline:
+                    # Completed, but past its SLO: a deadline miss too.
+                    self.metrics.inc("service_deadline_missed_total")
+            processed[job.job_id] = res
 
     def solve(self, a, b, **kwargs) -> JobResult:
         """Convenience: submit one request and drain the queue."""
@@ -250,6 +570,36 @@ class SolverService:
         return self.drain()[job_id]
 
     # -- observability -------------------------------------------------------
+
+    def publish_autoscale_signals(self) -> None:
+        """Publish the fleet's autoscaling gauges into the obs registry.
+
+        ``service_queue_depth`` (pending jobs), ``service_tenants_pending``
+        (tenants with queued work), ``service_deadline_miss_ratio``
+        (missed / all deadline-carrying terminal jobs),
+        ``service_cache_hit_rate`` plus ``service_cache_shard<i>_hit_rate``
+        per shard. Scrape-ready via ``repro.obs.export.prometheus_text``.
+        """
+        gauge = self.metrics.registry.gauge
+        gauge("service_queue_depth").set(float(len(self.queue)))
+        gauge("service_tenants_pending").set(
+            float(len(self.queue.pending_by_tenant()))
+        )
+        jobs = self.metrics.counter("service_deadline_jobs_total")
+        missed = self.metrics.counter("service_deadline_missed_total")
+        gauge("service_deadline_miss_ratio").set(
+            missed / jobs if jobs else 0.0
+        )
+        gauge("service_cache_hit_rate").set(self.cache.stats.hit_rate)
+        for i, st in enumerate(self.cache.shard_stats()):
+            gauge(f"service_cache_shard{i}_hit_rate").set(st.hit_rate)
+
+    @property
+    def deadline_miss_ratio(self) -> float:
+        """Fraction of deadline-carrying terminal jobs that missed it."""
+        jobs = self.metrics.counter("service_deadline_jobs_total")
+        missed = self.metrics.counter("service_deadline_missed_total")
+        return missed / jobs if jobs else 0.0
 
     def metrics_report(self) -> str:
         """Plain-text metrics report (counters, cache stats, latencies)."""

@@ -52,6 +52,22 @@ class PatternMismatchError(ShapeError):
     """
 
 
+class AdmissionError(ReproError, RuntimeError):
+    """The serving layer refused to enqueue a request at submit time.
+
+    Raised by :meth:`repro.service.SolverService.submit` when admission
+    control rejects the job — the bounded queue is full (backpressure) or
+    the submitting tenant is at its pending-job quota. The request was
+    *not* enqueued; the caller should back off and resubmit. ``reason``
+    is ``"backpressure"`` or ``"quota"`` so clients and load generators
+    can react differently to the two conditions.
+    """
+
+    def __init__(self, message: str, reason: str = "backpressure"):
+        super().__init__(message)
+        self.reason = reason
+
+
 class SimulationError(ReproError, RuntimeError):
     """The simulated message-passing machine reached an invalid state
     (deadlock, mismatched message, rank failure)."""

@@ -379,7 +379,16 @@ class TestResilience:
         assert res.retries == 0
         assert sleeps == []  # budget was gone before the first backoff
 
-    def test_backoff_sleep_capped_at_remaining_budget(self, monkeypatch):
+    def test_backoff_park_capped_at_remaining_budget(self, monkeypatch):
+        """The retry is parked (not slept inline) and the backoff delay is
+        clipped so the park never outlives the job's wall budget.
+
+        Clock trace (step=1): the first attempt starts at t=3 and fails at
+        elapsed 1 s, so the 100 s backoff clips to the 4 s of budget left
+        and the batch parks until t=8 — exactly start + budget. The idle
+        drain sleeps only to the wake (3 s, from t=5), and the re-dispatch
+        finds the budget exhausted: timed out after one retry.
+        """
         import repro.core.solver as core_solver
 
         monkeypatch.setattr(
@@ -390,12 +399,14 @@ class TestResilience:
         sleeps = []
         svc = SolverService(
             ServiceConfig(max_retries=10, retry_backoff=100.0),
-            clock=FakeClock(step=3.0),
+            clock=FakeClock(step=1.0),
             sleep=sleeps.append,
         )
         res = svc.solve(grid2d_laplacian(4), np.ones(16), timeout=5.0)
         assert res.status == TIMED_OUT
-        assert sleeps == [2.0]  # 100 s backoff clipped to the 2 s remaining
+        assert res.retries == 1
+        assert svc.metrics.counter("retries") == 1
+        assert sleeps == [3.0]  # park wake at start+budget, not +100 s
 
 
 class TestParallelService:
